@@ -1,0 +1,40 @@
+// Ablation B: interconnect topology.
+//
+// The paper's parcel study assumes a flat (fixed-delay) system-wide
+// latency.  This bench re-runs a Figure 11 slice under ring and 2-D mesh
+// interconnects calibrated to the same *mean* round trip, showing how far
+// the latency-hiding conclusions depend on the flat-latency assumption.
+//
+// Usage: bench_ablation_topology [csv=1] [nodes=16] [horizon=30000]
+//                                [latency=500] [premote=0.2]
+#include "bench_util.hpp"
+#include "parcel/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config& cfg) {
+    parcel::SplitTransactionParams base;
+    base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 16));
+    base.horizon = cfg.get_double("horizon", 30'000.0);
+    base.round_trip_latency = cfg.get_double("latency", 500.0);
+    base.p_remote = cfg.get_double("premote", 0.2);
+    base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+    Table t("Ablation B: topology sensitivity (mean round trip " +
+                format_number(base.round_trip_latency) + " cycles, " +
+                std::to_string(base.nodes) + " nodes)",
+            {"Network", "Parallelism", "work ratio", "test idle %",
+             "control idle %"});
+    for (const char* network : {"flat", "ring", "mesh2d"}) {
+      for (std::int64_t par : {1, 4, 16, 32}) {
+        parcel::SplitTransactionParams p = base;
+        p.network = network;
+        p.parallelism = static_cast<std::size_t>(par);
+        const parcel::ComparisonPoint point = parcel::compare_systems(p);
+        t.add_row({std::string(network), par, point.work_ratio,
+                   point.test_idle * 100.0, point.control_idle * 100.0});
+      }
+    }
+    return t;
+  });
+}

@@ -1,0 +1,36 @@
+// Reproduces the Section 3.1.2 accuracy claim: "The results derived from
+// the simulation ... were reproduced with this analytical model to an
+// accuracy of between 5% and 18%."  Prints the per-point relative error
+// grid and the summary band; our exact binomial batching makes the band
+// far tighter than the paper's (see EXPERIMENTS.md).
+//
+// Usage: bench_accuracy [csv=1] [ops=10000000] [maxnodes=64]
+#include <iostream>
+
+#include "analytic/accuracy.hpp"
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config& cfg) {
+    core::HostFigureConfig fig;
+    fig.base.workload.total_ops =
+        static_cast<std::uint64_t>(cfg.get_int("ops", 10'000'000));
+    fig.base.batch_ops =
+        static_cast<std::uint64_t>(cfg.get_int("batch", 100'000));
+    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    fig.node_counts = core::pow2_range(
+        static_cast<std::size_t>(cfg.get_int("maxnodes", 64)));
+    fig.lwp_fractions = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+
+    const auto entries = analytic::compare_grid(fig.base, fig.node_counts,
+                                                fig.lwp_fractions);
+    const auto band = analytic::summarize(entries);
+    std::cerr << "# accuracy band: min " << band.min_rel_error * 100.0
+              << "%  mean " << band.mean_rel_error * 100.0 << "%  max "
+              << band.max_rel_error * 100.0 << "%  (paper: 5%-18%)\n";
+    return core::make_accuracy_table(fig);
+  });
+}

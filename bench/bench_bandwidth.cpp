@@ -1,0 +1,15 @@
+// Regenerates the Section 2.1 DRAM bandwidth arithmetic: "a single
+// on-chip DRAM macro could sustain a bandwidth of over 50 Gbit/s" and
+// "an on-chip peak memory bandwidth of greater than 1 Tbit/s is possible
+// per chip", from the row/page geometry and timing.
+//
+// Usage: bench_bandwidth [csv=1]
+#include "bench_util.hpp"
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config&) {
+    return core::make_bandwidth_table();
+  });
+}

@@ -1,0 +1,142 @@
+// google-benchmark microbenchmarks of the simulation kernel itself:
+// event dispatch throughput, coroutine context switching, resource
+// queueing, mailbox traffic, and the end-to-end cost of the two paper
+// models per simulated point.
+#include <benchmark/benchmark.h>
+
+#include "arch/host_system.hpp"
+#include "common/rng.hpp"
+#include "des/mailbox.hpp"
+#include "des/process.hpp"
+#include "des/resource.hpp"
+#include "des/simulation.hpp"
+#include "parcel/system.hpp"
+
+namespace {
+
+using namespace pimsim;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+des::Process delay_loop(des::Simulation& sim, std::uint64_t hops) {
+  for (std::uint64_t i = 0; i < hops; ++i) {
+    co_await des::delay(sim, 1.0);
+  }
+}
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    sim.spawn(delay_loop(sim, static_cast<std::uint64_t>(state.range(0))));
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayLoop)->Arg(1000)->Arg(100000);
+
+des::Process contender(des::Simulation& sim, des::Resource& r,
+                       std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    co_await r.acquire();
+    co_await des::delay(sim, 1.0);
+    r.release();
+  }
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  const auto contenders = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    des::Resource r(sim, 1);
+    for (std::size_t c = 0; c < contenders; ++c) {
+      sim.spawn(contender(sim, r, 200));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(r.grants());
+  }
+  state.SetItemsProcessed(state.iterations() * contenders * 200);
+}
+BENCHMARK(BM_ResourceContention)->Arg(2)->Arg(16)->Arg(64);
+
+des::Process ping(des::Simulation& sim, des::Mailbox<int>& out,
+                  des::Mailbox<int>& in, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    out.send(i);
+    co_await in.receive();
+    co_await des::delay(sim, 1.0);
+  }
+}
+
+des::Process pong(des::Mailbox<int>& in, des::Mailbox<int>& out, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const int v = co_await in.receive();
+    out.send(v);
+  }
+}
+
+void BM_MailboxPingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    des::Mailbox<int> a(sim), b(sim);
+    sim.spawn(ping(sim, a, b, rounds));
+    sim.spawn(pong(a, b, rounds));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_MailboxPingPong)->Arg(1000)->Arg(10000);
+
+void BM_HostSystemPoint(benchmark::State& state) {
+  arch::HostConfig cfg;
+  cfg.workload.total_ops = 100'000'000;
+  cfg.workload.lwp_fraction = 0.7;
+  cfg.lwp_nodes = static_cast<std::size_t>(state.range(0));
+  cfg.batch_ops = 1'000'000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(arch::run_host_system(cfg).total_cycles);
+  }
+}
+BENCHMARK(BM_HostSystemPoint)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ParcelComparisonPoint(benchmark::State& state) {
+  parcel::SplitTransactionParams p;
+  p.nodes = static_cast<std::size_t>(state.range(0));
+  p.horizon = 10'000.0;
+  p.parallelism = 8;
+  p.round_trip_latency = 200.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    p.seed = seed++;
+    benchmark::DoNotOptimize(parcel::compare_systems(p).work_ratio);
+  }
+}
+BENCHMARK(BM_ParcelComparisonPoint)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RngBinomial(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.binomial(1'000'000, 0.3));
+  }
+}
+BENCHMARK(BM_RngBinomial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Regenerates Figure 11: latency hiding with parcels.  For each degree of
+// parallelism (the paper's "six major experiments") and each remote-access
+// percentage, sweeps the system-wide latency and reports the ratio of work
+// completed by the parcel split-transaction system to the blocking
+// message-passing control, alongside the closed-form prediction.
+//
+// Usage: bench_fig11 [csv=1] [nodes=8] [horizon=30000]
+//                    [latencies=10,50,100,200,500,1000,2000]
+//                    [remotes=0.02,0.05,0.1,0.2,0.5] [pars=1,2,4,8,16,32]
+#include "bench_util.hpp"
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config& cfg) {
+    core::ParcelFigureConfig fig = core::ParcelFigureConfig::defaults_fig11();
+    fig.base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
+    fig.base.horizon = cfg.get_double("horizon", 30'000.0);
+    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    fig.base.t_switch = cfg.get_double("tswitch", fig.base.t_switch);
+    fig.base.t_local = cfg.get_double("tlocal", fig.base.t_local);
+    fig.latencies = cfg.get_list(
+        "latencies", {10, 50, 100, 200, 500, 1000, 2000});
+    fig.remote_fractions =
+        cfg.get_list("remotes", {0.02, 0.05, 0.10, 0.20, 0.50});
+    std::vector<std::size_t> pars;
+    for (double p : cfg.get_list("pars", {1, 2, 4, 8, 16, 32})) {
+      pars.push_back(static_cast<std::size_t>(p));
+    }
+    fig.parallelism = pars;
+    return core::make_fig11(fig);
+  });
+}

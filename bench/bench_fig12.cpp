@@ -1,0 +1,32 @@
+// Regenerates Figure 12: idle time with respect to the degree of
+// parallelism, across system sizes from 1 to 256 nodes (the paper's "8
+// major experimental sets"; its 16-node case failed to complete — ours
+// runs).  With sufficient parallelism the test system's idle time drops
+// to ~zero while the control system stays idle waiting for replies.
+//
+// Usage: bench_fig12 [csv=1] [horizon=20000] [latency=200] [premote=0.1]
+//                    [sizes=1,2,4,8,16,32,64,128,256] [pars=1,2,4,8,16,32]
+#include "bench_util.hpp"
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config& cfg) {
+    core::ParcelFigureConfig fig = core::ParcelFigureConfig::defaults_fig12();
+    fig.base.horizon = cfg.get_double("horizon", 20'000.0);
+    fig.base.round_trip_latency = cfg.get_double("latency", 200.0);
+    fig.base.p_remote = cfg.get_double("premote", 0.1);
+    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    std::vector<std::size_t> sizes;
+    for (double s : cfg.get_list("sizes", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
+      sizes.push_back(static_cast<std::size_t>(s));
+    }
+    fig.node_counts = sizes;
+    std::vector<std::size_t> pars;
+    for (double p : cfg.get_list("pars", {1, 2, 4, 8, 16, 32})) {
+      pars.push_back(static_cast<std::size_t>(p));
+    }
+    fig.parallelism = pars;
+    return core::make_fig12(fig);
+  });
+}

@@ -1,0 +1,25 @@
+// Regenerates Figure 5: simulated performance gain of the PIM-augmented
+// system over the host-only control, versus the lightweight workload
+// fraction, for node counts 1..256.
+//
+// Usage: bench_fig5 [csv=1] [maxnodes=256] [ops=100000000] [reps=3]
+//                   [batch=1000000] [seed=1]
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config& cfg) {
+    core::HostFigureConfig fig = core::HostFigureConfig::defaults_fig5();
+    fig.node_counts = core::pow2_range(
+        static_cast<std::size_t>(cfg.get_int("maxnodes", 256)));
+    fig.base.workload.total_ops =
+        static_cast<std::uint64_t>(cfg.get_int("ops", 100'000'000));
+    fig.base.batch_ops =
+        static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
+    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
+    return core::make_fig5(fig);
+  });
+}

@@ -1,0 +1,25 @@
+// Regenerates Figure 6: unnormalized single-thread/node response time in
+// nanoseconds versus node count (1..64), one curve per %LWT workload.
+// The paper's axis tops out at 1.6e9 ns; the 100% LWT single-node point
+// lands at 1.25e9 ns.
+//
+// Usage: bench_fig6 [csv=1] [maxnodes=64] [ops=100000000] [reps=3]
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimsim;
+  return bench::run_figure(argc, argv, [](const Config& cfg) {
+    core::HostFigureConfig fig = core::HostFigureConfig::defaults_fig6();
+    fig.node_counts = core::pow2_range(
+        static_cast<std::size_t>(cfg.get_int("maxnodes", 64)));
+    fig.base.workload.total_ops =
+        static_cast<std::uint64_t>(cfg.get_int("ops", 100'000'000));
+    fig.base.batch_ops =
+        static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
+    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
+    return core::make_fig6(fig);
+  });
+}

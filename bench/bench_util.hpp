@@ -1,0 +1,43 @@
+// Shared plumbing for the figure-regeneration binaries: parse key=value
+// overrides from argv, print the resulting table (text or CSV), and time
+// the generation.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+
+namespace pimsim::bench {
+
+/// Prints `table` as text (default) or CSV when `csv=1` is configured.
+inline void emit(const Table& table, const Config& cfg) {
+  if (cfg.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+/// Runs a table generator, reporting wall time and honoring csv=1.
+template <typename Fn>
+int run_figure(int argc, char** argv, Fn&& generate) {
+  try {
+    const Config cfg = Config::from_args(argc, argv);
+    const auto start = std::chrono::steady_clock::now();
+    const Table table = generate(cfg);
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    emit(table, cfg);
+    std::cerr << "# generated in " << elapsed << " s\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace pimsim::bench

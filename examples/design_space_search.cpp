@@ -1,0 +1,102 @@
+// Design-space exploration: the "quantitative framework for assessing the
+// tradeoff space" of paper Section 2.3, driven from the inverse direction
+// a machine architect actually faces — given a target, what does the
+// configuration need to be?
+//
+// Build & run:  ./examples/design_space_search
+#include <cstdio>
+
+#include "analytic/hwp_lwp.hpp"
+#include "analytic/multithreading.hpp"
+#include "analytic/parcel_model.hpp"
+#include "arch/params.hpp"
+#include "core/design_space.hpp"
+
+int main() {
+  using namespace pimsim;
+  const arch::SystemParams params = arch::SystemParams::table1();
+
+  // --- 1. node provisioning: minimum N for a target speedup -------------
+  std::printf("minimum PIM nodes for a target gain (Table 1 machine):\n");
+  std::printf("%-10s", "%WL");
+  for (double target : {1.5, 2.0, 4.0, 8.0}) std::printf("  gain %.1fx", target);
+  std::printf("\n");
+  for (double pct : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+    std::printf("%-10.0f", pct * 100.0);
+    for (double target : {1.5, 2.0, 4.0, 8.0}) {
+      const std::size_t n = analytic::min_nodes_for_gain(params, pct, target);
+      if (n == 0) {
+        std::printf("  %9s", "-");
+      } else {
+        std::printf("  %9zu", n);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("('-' = unattainable: max gain at %%WL is 1/(1-%%WL))\n\n");
+
+  // --- 2. regime map across the (N, %WL) plane --------------------------
+  std::printf("operating regimes (rows: nodes, cols: %%WL):\n%-8s", "");
+  for (double pct : {0.1, 0.3, 0.5, 0.7, 0.9}) std::printf("%-14.0f", pct * 100);
+  std::printf("\n");
+  for (double n : {1.0, 2.0, 4.0, 16.0, 64.0, 256.0}) {
+    std::printf("%-8.0f", n);
+    for (double pct : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      std::printf("%-14s", core::to_string(core::classify_host_point(params, n, pct)));
+    }
+    std::printf("\n");
+  }
+
+  // --- 3. how machine parameters move the break-even point --------------
+  std::printf("\nsensitivity of NB to the machine parameters:\n");
+  std::printf("%-34s %s\n", "configuration", "NB");
+  auto show = [](const char* label, arch::SystemParams p) {
+    std::printf("%-34s %.3f\n", label, p.nb());
+  };
+  show("Table 1 baseline", params);
+  arch::SystemParams v = params;
+  v.p_miss = 0.02;
+  show("better host cache (Pmiss=0.02)", v);
+  v = params;
+  v.p_miss = 0.3;
+  show("worse host cache (Pmiss=0.3)", v);
+  v = params;
+  v.t_ml = 10.0;
+  show("faster PIM memory (TML=10)", v);
+  v = params;
+  v.tl_cycle = 2.0;
+  show("faster PIM clock (TLcycle=2)", v);
+  v = params;
+  v.t_mh = 300.0;
+  show("slower host DRAM path (TMH=300)", v);
+
+  // --- 4. parcels: provisioning parallelism for a latency budget --------
+  std::printf("\nparcel contexts needed to saturate a node (20%% remote):\n");
+  std::printf("%-18s %s\n", "round trip (cy)", "contexts (ceil)");
+  parcel::SplitTransactionParams pp;
+  pp.p_remote = 0.2;
+  for (double latency : {50.0, 200.0, 1000.0, 5000.0}) {
+    pp.round_trip_latency = latency;
+    std::printf("%-18.0f %.0f\n", latency,
+                std::ceil(analytic::saturation_parallelism(pp)));
+  }
+
+  // --- 5. extensions: what relaxing the paper's assumptions buys --------
+  std::printf("\nextensions at a glance (Table 1 machine, %%WL = 70):\n");
+  const double pct70 = 0.7;
+  std::printf("  serialized phases, N=16      : gain %.2fx\n",
+              analytic::gain(params, 16.0, pct70));
+  std::printf("  overlapped host+PIM, N=16    : gain %.2fx (cap %.2fx at N* = %.1f)\n",
+              1.0 / analytic::time_relative_overlapped(params, 16.0, pct70),
+              analytic::max_gain(pct70),
+              analytic::balanced_nodes(params, pct70));
+  std::printf("  4-way multithreaded LWPs     : NB falls %.2f -> %.2f\n",
+              params.nb(), analytic::nb_mt(params, 4, 1.0));
+  pp.round_trip_latency = 1000.0;
+  pp.parallelism = 16;
+  pp.nic_gap = 20.0;
+  std::printf("  NIC-aware parcel ceiling     : %.3f work/cycle/node at "
+              "20-cycle injection gap\n",
+              analytic::test_throughput_bandwidth_bound(pp));
+  return 0;
+}

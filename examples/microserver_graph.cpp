@@ -1,0 +1,157 @@
+// A microserver-style irregular application on the functional parcel
+// runtime: multi-hop traversal of a distributed linked structure, the
+// access pattern that defeats caches (paper Sections 1 and 2.2, "remote
+// method invocations on objects in memory").
+//
+// A linked structure of N elements is scattered over the nodes of a
+// ParcelMachine; links stay within the home shard with probability
+// p_local.  A "chase" method parcel performs hops *at the data*: it
+// follows links while they remain in its shard (up to an unroll budget)
+// and returns where it got to — computation migrates to the memory
+// instead of data migrating to a processor.  Sweeping the unroll budget
+// shows how fatter actions amortize the network round trip.
+//
+// Build & run:  ./examples/microserver_graph
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/process.hpp"
+#include "des/simulation.hpp"
+#include "parcel/network.hpp"
+#include "parcel/runtime.hpp"
+
+namespace {
+
+using namespace pimsim;
+
+constexpr std::uint32_t kChase = 1;
+constexpr std::size_t kNodes = 16;
+constexpr std::uint64_t kElements = 1 << 14;
+
+/// Locality-biased Hamiltonian cycle over all elements: the traversal
+/// visits every element once per lap, staying in its current shard with
+/// probability p_local at each step (so shard-local runs average
+/// 1/(1-p_local) hops).  A single global cycle cannot trap the walk in a
+/// local sub-cycle the way a random successor map would.
+std::vector<std::uint64_t> build_links(double p_local, Rng& rng) {
+  // Pre-shuffle each shard's elements (element i lives on shard i % kNodes).
+  std::vector<std::vector<std::uint64_t>> pool(kNodes);
+  const std::uint64_t per_shard = kElements / kNodes;
+  for (std::size_t s = 0; s < kNodes; ++s) {
+    pool[s].reserve(per_shard);
+    for (std::uint64_t row = 0; row < per_shard; ++row) {
+      pool[s].push_back(row * kNodes + s);
+    }
+    for (std::uint64_t i = per_shard - 1; i > 0; --i) {
+      std::swap(pool[s][i], pool[s][rng.uniform_int(0, i)]);
+    }
+  }
+  // Emit the global visit order in shard-local runs.
+  std::vector<std::uint64_t> order;
+  order.reserve(kElements);
+  std::size_t shard = 0;
+  std::vector<std::size_t> cursor(kNodes, 0);
+  auto shard_has = [&](std::size_t s) { return cursor[s] < pool[s].size(); };
+  for (std::uint64_t emitted = 0; emitted < kElements; ++emitted) {
+    if (!shard_has(shard) || !rng.bernoulli(p_local)) {
+      // Jump to a random shard that still has elements.
+      std::size_t s = rng.uniform_int(0, kNodes - 1);
+      while (!shard_has(s)) s = (s + 1) % kNodes;
+      shard = s;
+    }
+    order.push_back(pool[shard][cursor[shard]++]);
+  }
+  std::vector<std::uint64_t> next(kElements);
+  for (std::uint64_t t = 0; t < kElements; ++t) {
+    next[order[t]] = order[(t + 1) % kElements];
+  }
+  return next;
+}
+
+/// Reply packing: hops actually taken in the high bits, element in the low.
+constexpr std::uint64_t pack(std::uint64_t hops, std::uint64_t element) {
+  return (hops << 32) | element;
+}
+
+des::Process traverse(des::Simulation& sim, parcel::ParcelMachine& machine,
+                      std::uint64_t hops_wanted, std::uint64_t unroll,
+                      double* finished_at, std::uint64_t* parcels) {
+  std::uint64_t current = 0;
+  std::uint64_t done = 0;
+  while (done < hops_wanted) {
+    parcel::Parcel p;
+    p.dst = machine.home_of(current * 8);
+    p.action = parcel::ActionKind::kMethod;
+    p.method_id = kChase;
+    p.target_vaddr = current * 8;
+    p.operands = {std::min(unroll, hops_wanted - done)};
+    auto handle = machine.request(0, p);
+    co_await handle.wait();
+    ++*parcels;
+    done += handle.value() >> 32;
+    current = handle.value() & 0xffffffffull;
+  }
+  *finished_at = sim.now();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kHops = 2'000;
+  constexpr double kPLocal = 0.9;
+
+  std::printf("distributed pointer chase: %llu elements over %zu PIM nodes, "
+              "%llu hops, %.0f%% shard-local links\n\n",
+              static_cast<unsigned long long>(kElements), kNodes,
+              static_cast<unsigned long long>(kHops), kPLocal * 100.0);
+  std::printf("%-10s %-14s %-14s %-12s %s\n", "unroll", "cycles",
+              "cycles/hop", "parcels", "wire bytes");
+
+  Rng rng(2004);
+  const auto links = build_links(kPLocal, rng);
+
+  for (std::uint64_t unroll : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+    des::Simulation sim;
+    parcel::FlatInterconnect net(200.0);
+    parcel::ParcelMachine machine(sim, kNodes, net);
+
+    // The chase method: follow links while they stay in this shard and
+    // the unroll budget lasts; report (hops taken, element reached).
+    machine.registry().register_method(
+        kChase, "chase",
+        [&machine](parcel::MemoryStore& store, std::uint64_t vaddr,
+                   std::span<const std::uint64_t> ops) {
+          const std::uint64_t budget = ops.empty() ? 1 : ops[0];
+          const auto home = machine.home_of(vaddr);
+          std::uint64_t current = vaddr / 8;
+          std::uint64_t taken = 0;
+          while (taken < budget) {
+            current = store.read(current * 8);
+            ++taken;
+            if (machine.home_of(current * 8) != home) break;
+          }
+          return std::optional<std::uint64_t>(pack(taken, current));
+        });
+
+    for (std::uint64_t i = 0; i < kElements; ++i) {
+      machine.store(machine.home_of(i * 8)).write(i * 8, links[i]);
+    }
+
+    double finished = 0.0;
+    std::uint64_t parcels = 0;
+    sim.spawn(traverse(sim, machine, kHops, unroll, &finished, &parcels));
+    sim.run_until(1e9);
+
+    std::printf("%-10llu %-14.0f %-14.1f %-12llu %llu\n",
+                static_cast<unsigned long long>(unroll), finished,
+                finished / static_cast<double>(kHops),
+                static_cast<unsigned long long>(parcels),
+                static_cast<unsigned long long>(machine.total_bytes_on_wire()));
+  }
+
+  std::printf("\nunrolling lets one parcel chase several links inside its "
+              "home shard,\namortizing the 200-cycle round trip — the "
+              "message-driven advantage the\npaper's Figure 9 illustrates.\n");
+  return 0;
+}

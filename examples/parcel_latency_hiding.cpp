@@ -1,0 +1,62 @@
+// Parcel latency hiding on a 64-node PIM array (paper Section 4).
+//
+// Builds the paper's two systems — blocking message passing versus
+// parcel-driven split transactions — over the same flat interconnect,
+// sweeps the system-wide latency, and prints the work ratio and idle
+// times, ending with the design-space recommendation.
+//
+// Build & run:  ./examples/parcel_latency_hiding
+#include <cstdio>
+
+#include "analytic/parcel_model.hpp"
+#include "core/design_space.hpp"
+#include "parcel/system.hpp"
+
+int main() {
+  using namespace pimsim;
+
+  parcel::SplitTransactionParams p;
+  p.nodes = 64;
+  p.parallelism = 16;   // parcel contexts per node
+  p.p_remote = 0.20;    // 20% of memory accesses are remote
+  p.horizon = 20'000.0;
+  p.seed = 42;
+
+  std::printf("64-node PIM array, %zu parcel contexts/node, %.0f%% remote "
+              "accesses\n\n",
+              p.parallelism, p.p_remote * 100.0);
+  std::printf("%-12s %-12s %-12s %-12s %s\n", "latency", "work ratio",
+              "model", "test idle", "control idle");
+  for (double latency : {10.0, 50.0, 200.0, 1000.0, 5000.0}) {
+    p.round_trip_latency = latency;
+    const parcel::ComparisonPoint point = parcel::compare_systems(p);
+    char test_idle[16], control_idle[16];
+    std::snprintf(test_idle, sizeof test_idle, "%.1f%%",
+                  point.test_idle * 100.0);
+    std::snprintf(control_idle, sizeof control_idle, "%.1f%%",
+                  point.control_idle * 100.0);
+    std::printf("%-12.0f %-12.2f %-12.2f %-12s %s\n", latency,
+                point.work_ratio, analytic::predicted_ratio(p), test_idle,
+                control_idle);
+  }
+
+  // How much parallelism does a 1000-cycle machine actually need?
+  p.round_trip_latency = 1000.0;
+  std::printf("\nidle collapse at L=1000 (paper Figure 12 behaviour):\n");
+  std::printf("%-14s %-12s %s\n", "parallelism", "test idle", "model");
+  for (std::size_t par : {1, 2, 4, 8, 16, 32, 64}) {
+    p.parallelism = par;
+    const auto run = parcel::run_split_transaction_system(p);
+    char sim_idle[16], model_idle[16];
+    std::snprintf(sim_idle, sizeof sim_idle, "%.1f%%",
+                  run.mean_idle_fraction() * 100.0);
+    std::snprintf(model_idle, sizeof model_idle, "%.1f%%",
+                  analytic::test_idle_fraction_mva(p) * 100.0);
+    std::printf("%-14zu %-12s %s\n", par, sim_idle, model_idle);
+  }
+
+  p.parallelism = 16;
+  const core::ParcelAdvice advice = core::advise_parcels(p);
+  std::printf("\nrecommendation: %s\n", advice.reason.c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: the five-minute tour of pimsim.
+//
+//  1. Describe a machine with the paper's Table 1 parameters.
+//  2. Ask the analytic model where PIM breaks even (NB).
+//  3. Simulate one design point and compare with the closed form.
+//  4. Ask the design-space API how many PIM nodes a target speedup needs.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "analytic/hwp_lwp.hpp"
+#include "arch/host_system.hpp"
+#include "arch/params.hpp"
+#include "core/design_space.hpp"
+
+int main() {
+  using namespace pimsim;
+
+  // 1. The machine: a cache-based heavyweight host plus an array of
+  //    lightweight PIM processors in its memory (paper Figure 1).
+  const arch::SystemParams params = arch::SystemParams::table1();
+  std::printf("HWP cost per operation : %.2f cycles\n", params.hwp_cost_per_op());
+  std::printf("LWP cost per operation : %.2f cycles\n", params.lwp_cost_per_op());
+
+  // 2. The break-even node count NB — the paper's third orthogonal
+  //    parameter. With more than NB PIM nodes, offloading low-locality
+  //    work always helps, regardless of how much of it there is.
+  std::printf("break-even node count  : NB = %.3f\n\n", params.nb());
+
+  // 3. One design point: 64 PIM nodes, 70%% of the work has no temporal
+  //    locality. Simulate it and check the analytic model.
+  arch::HostConfig cfg;
+  cfg.params = params;
+  cfg.workload.total_ops = 100'000'000;  // the paper's W
+  cfg.workload.lwp_fraction = 0.70;
+  cfg.lwp_nodes = 64;
+  cfg.batch_ops = 1'000'000;
+
+  const arch::HostResult sim = arch::run_host_system(cfg);
+  const double model_cycles = analytic::absolute_time_cycles(
+      params, cfg.workload.total_ops, 64.0, 0.70);
+  const double gain = analytic::gain(params, 64.0, 0.70);
+
+  std::printf("simulated makespan     : %.3e cycles (%.1f ms wall)\n",
+              sim.total_cycles, params.clock().to_seconds(sim.total_cycles) * 1e3);
+  std::printf("analytic makespan      : %.3e cycles (err %.2f%%)\n",
+              model_cycles,
+              100.0 * (sim.total_cycles - model_cycles) / sim.total_cycles);
+  std::printf("gain over host-only    : %.2fx (%s)\n\n", gain,
+              core::to_string(core::classify_host_point(params, 64.0, 0.70)));
+
+  // 4. Inverse query: how many PIM nodes buy a 3x speedup here?
+  const std::size_t needed = analytic::min_nodes_for_gain(params, 0.70, 3.0);
+  if (needed > 0) {
+    std::printf("nodes needed for 3x    : %zu\n", needed);
+  } else {
+    std::printf("3x is unattainable at this workload split\n");
+  }
+  return 0;
+}

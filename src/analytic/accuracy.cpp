@@ -1,0 +1,54 @@
+#include "analytic/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/hwp_lwp.hpp"
+#include "common/error.hpp"
+
+namespace pimsim::analytic {
+
+std::vector<AccuracyEntry> compare_grid(
+    const arch::HostConfig& base, const std::vector<std::size_t>& node_counts,
+    const std::vector<double>& lwp_fractions) {
+  require(!node_counts.empty() && !lwp_fractions.empty(),
+          "compare_grid: empty sweep axes");
+  std::vector<AccuracyEntry> out;
+  out.reserve(node_counts.size() * lwp_fractions.size());
+  for (std::size_t n : node_counts) {
+    for (double pct : lwp_fractions) {
+      arch::HostConfig cfg = base;
+      cfg.lwp_nodes = n;
+      cfg.workload.lwp_fraction = pct;
+      const arch::HostResult sim = arch::run_host_system(cfg);
+      AccuracyEntry e;
+      e.nodes = n;
+      e.lwp_fraction = pct;
+      e.simulated_cycles = sim.total_cycles;
+      e.model_cycles = absolute_time_cycles(
+          cfg.params, cfg.workload.total_ops, static_cast<double>(n), pct);
+      ensure(e.simulated_cycles > 0.0, "compare_grid: empty simulation run");
+      e.rel_error = std::fabs(e.simulated_cycles - e.model_cycles) /
+                    e.simulated_cycles;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+AccuracyBand summarize(const std::vector<AccuracyEntry>& entries) {
+  require(!entries.empty(), "summarize: no accuracy entries");
+  AccuracyBand band;
+  band.min_rel_error = entries.front().rel_error;
+  band.max_rel_error = entries.front().rel_error;
+  double sum = 0.0;
+  for (const auto& e : entries) {
+    band.min_rel_error = std::min(band.min_rel_error, e.rel_error);
+    band.max_rel_error = std::max(band.max_rel_error, e.rel_error);
+    sum += e.rel_error;
+  }
+  band.mean_rel_error = sum / static_cast<double>(entries.size());
+  return band;
+}
+
+}  // namespace pimsim::analytic

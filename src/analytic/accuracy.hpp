@@ -1,0 +1,42 @@
+// Simulation-versus-analytic accuracy study (paper Section 3.1.2).
+//
+// "The results derived from the simulation ... were reproduced with this
+//  analytical model to an accuracy of between 5% and 18%."
+//
+// compare_grid() reruns the queueing simulation across an (N, %WL) grid
+// and reports the relative error of the closed-form model at every point,
+// so the bench can state our measured accuracy band next to the paper's.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/host_system.hpp"
+
+namespace pimsim::analytic {
+
+/// One grid point of the accuracy comparison.
+struct AccuracyEntry {
+  std::size_t nodes = 0;
+  double lwp_fraction = 0.0;
+  double simulated_cycles = 0.0;
+  double model_cycles = 0.0;
+  double rel_error = 0.0;  ///< |sim - model| / sim
+};
+
+/// Runs the simulation at every (nodes, %WL) combination and compares it
+/// with the analytical makespan. `base` supplies all other parameters.
+[[nodiscard]] std::vector<AccuracyEntry> compare_grid(
+    const arch::HostConfig& base, const std::vector<std::size_t>& node_counts,
+    const std::vector<double>& lwp_fractions);
+
+/// Summary band over a set of entries.
+struct AccuracyBand {
+  double min_rel_error = 0.0;
+  double max_rel_error = 0.0;
+  double mean_rel_error = 0.0;
+};
+
+[[nodiscard]] AccuracyBand summarize(const std::vector<AccuracyEntry>& entries);
+
+}  // namespace pimsim::analytic

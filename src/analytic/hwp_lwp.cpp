@@ -1,0 +1,86 @@
+#include "analytic/hwp_lwp.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pimsim::analytic {
+
+namespace {
+void check_point(double n_nodes, double lwp_fraction) {
+  require(n_nodes >= 1.0, "analytic: need at least one LWP node");
+  require(lwp_fraction >= 0.0 && lwp_fraction <= 1.0,
+          "analytic: %WL must be in [0,1]");
+}
+}  // namespace
+
+double time_relative(const arch::SystemParams& params, double n_nodes,
+                     double lwp_fraction) {
+  check_point(n_nodes, lwp_fraction);
+  return 1.0 - lwp_fraction * (1.0 - params.nb() / n_nodes);
+}
+
+double gain(const arch::SystemParams& params, double n_nodes,
+            double lwp_fraction) {
+  const double t = time_relative(params, n_nodes, lwp_fraction);
+  ensure(t > 0.0, "analytic::gain: non-positive relative time");
+  return 1.0 / t;
+}
+
+double absolute_time_cycles(const arch::SystemParams& params,
+                            std::uint64_t total_ops, double n_nodes,
+                            double lwp_fraction) {
+  check_point(n_nodes, lwp_fraction);
+  const double w = static_cast<double>(total_ops);
+  const double hwp_part = (1.0 - lwp_fraction) * w * params.hwp_cost_per_op();
+  const double lwp_part = lwp_fraction * w * params.lwp_cost_per_op() / n_nodes;
+  return hwp_part + lwp_part;
+}
+
+double absolute_time_ns(const arch::SystemParams& params,
+                        std::uint64_t total_ops, double n_nodes,
+                        double lwp_fraction) {
+  return params.clock().to_ns(
+      absolute_time_cycles(params, total_ops, n_nodes, lwp_fraction));
+}
+
+double crossover_nodes(const arch::SystemParams& params) { return params.nb(); }
+
+double max_gain(double lwp_fraction) {
+  require(lwp_fraction >= 0.0 && lwp_fraction <= 1.0,
+          "analytic: %WL must be in [0,1]");
+  if (lwp_fraction >= 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - lwp_fraction);
+}
+
+double time_relative_overlapped(const arch::SystemParams& params,
+                                double n_nodes, double lwp_fraction) {
+  check_point(n_nodes, lwp_fraction);
+  const double hwp_side = 1.0 - lwp_fraction;
+  const double lwp_side = lwp_fraction * params.nb() / n_nodes;
+  return std::fmax(hwp_side, lwp_side);
+}
+
+double balanced_nodes(const arch::SystemParams& params, double lwp_fraction) {
+  require(lwp_fraction >= 0.0 && lwp_fraction <= 1.0,
+          "balanced_nodes: %WL must be in [0,1]");
+  if (lwp_fraction >= 1.0) return std::numeric_limits<double>::infinity();
+  return params.nb() * lwp_fraction / (1.0 - lwp_fraction);
+}
+
+std::size_t min_nodes_for_gain(const arch::SystemParams& params,
+                               double lwp_fraction, double target_gain) {
+  require(target_gain > 0.0, "analytic: target gain must be positive");
+  if (target_gain <= 1.0) return 1;
+  if (target_gain >= max_gain(lwp_fraction)) return 0;  // unattainable
+  // Solve 1 - %WL*(1 - NB/N) <= 1/target for N:
+  //   N >= NB * %WL / (%WL - 1 + 1/target)
+  const double nb = params.nb();
+  const double denom = lwp_fraction - 1.0 + 1.0 / target_gain;
+  ensure(denom > 0.0, "analytic::min_nodes_for_gain: internal inconsistency");
+  const double n = nb * lwp_fraction / denom;
+  return static_cast<std::size_t>(std::ceil(n - 1e-12));
+}
+
+}  // namespace pimsim::analytic

@@ -1,0 +1,69 @@
+// The paper's Section 3.1.2 analytical model.
+//
+//   Time_relative = 1 - %WL * (1 - NB / N)
+//
+//   NB = [TLcycle + mix*(TML - TLcycle)] / [1 + mix*(TCH - 1 + Pmiss*TMH)]
+//
+// Time is normalized to the control: the HWP alone executing all W
+// operations with its cache behaviour.  NB is the "third orthogonal
+// parameter": the number of LWP nodes whose aggregate throughput on
+// low-locality work equals one HWP, so N = NB is the break-even node
+// count *independent of %WL* (the Figure 7 coincidence point).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/params.hpp"
+
+namespace pimsim::analytic {
+
+/// Time_relative(N, %WL): normalized time to solution, Figure 7.
+[[nodiscard]] double time_relative(const arch::SystemParams& params,
+                                   double n_nodes, double lwp_fraction);
+
+/// Performance gain over the control system = 1 / Time_relative (Figure 5).
+[[nodiscard]] double gain(const arch::SystemParams& params, double n_nodes,
+                          double lwp_fraction);
+
+/// Absolute makespan in HWP cycles for `total_ops` operations (Figure 6).
+[[nodiscard]] double absolute_time_cycles(const arch::SystemParams& params,
+                                          std::uint64_t total_ops,
+                                          double n_nodes, double lwp_fraction);
+
+/// Absolute makespan in nanoseconds (Figure 6 y-axis).
+[[nodiscard]] double absolute_time_ns(const arch::SystemParams& params,
+                                      std::uint64_t total_ops, double n_nodes,
+                                      double lwp_fraction);
+
+/// The coincidence point: N at which PIM neither helps nor hurts (== NB).
+[[nodiscard]] double crossover_nodes(const arch::SystemParams& params);
+
+/// Asymptotic gain as N -> infinity: 1 / (1 - %WL) (infinite for %WL = 1).
+[[nodiscard]] double max_gain(double lwp_fraction);
+
+/// Smallest integer node count achieving `target_gain` at the given
+/// workload split; returns 0 when the target exceeds max_gain().
+[[nodiscard]] std::size_t min_nodes_for_gain(const arch::SystemParams& params,
+                                             double lwp_fraction,
+                                             double target_gain);
+
+// --- concurrent host+PIM extension ----------------------------------------
+//
+// The paper's flow serializes the host and PIM parts of each phase.  If
+// the application lets them overlap (the host "augmented" by PIM memory),
+// the phase time is the slower of the two sides:
+//   Time_relative_ov = max(1 - %WL, %WL * NB / N).
+
+/// Normalized time to solution with perfectly overlapped phases.
+[[nodiscard]] double time_relative_overlapped(const arch::SystemParams& params,
+                                              double n_nodes,
+                                              double lwp_fraction);
+
+/// Node count at which the two sides take equal time (the point past
+/// which more PIM nodes stop helping an overlapped execution):
+///   N* = NB * %WL / (1 - %WL); infinity at %WL = 1.
+[[nodiscard]] double balanced_nodes(const arch::SystemParams& params,
+                                    double lwp_fraction);
+
+}  // namespace pimsim::analytic

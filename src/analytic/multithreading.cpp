@@ -1,0 +1,84 @@
+#include "analytic/multithreading.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pimsim::analytic {
+
+void MultithreadSpec::validate() const {
+  require(run_cycles > 0.0, "MultithreadSpec: run_cycles must be positive");
+  require(stall_cycles >= 0.0,
+          "MultithreadSpec: stall_cycles must be non-negative");
+  require(switch_cost >= 0.0,
+          "MultithreadSpec: switch_cost must be non-negative");
+}
+
+double saturation_threads(const MultithreadSpec& spec) {
+  spec.validate();
+  const double busy = spec.run_cycles + spec.switch_cost;
+  return (busy + spec.stall_cycles) / busy;
+}
+
+double utilization(const MultithreadSpec& spec, std::size_t k) {
+  spec.validate();
+  require(k >= 1, "utilization: need at least one thread");
+  if (k == 1) {
+    // A single thread never switches: busy R out of every R + L.
+    return spec.run_cycles / (spec.run_cycles + spec.stall_cycles);
+  }
+  return std::min(1.0, static_cast<double>(k) / saturation_threads(spec));
+}
+
+double segment_rate(const MultithreadSpec& spec, std::size_t k) {
+  spec.validate();
+  require(k >= 1, "segment_rate: need at least one thread");
+  if (k == 1) {
+    return 1.0 / (spec.run_cycles + spec.stall_cycles);
+  }
+  const double busy = spec.run_cycles + spec.switch_cost;
+  const double linear = static_cast<double>(k) / (busy + spec.stall_cycles);
+  const double saturated = 1.0 / busy;
+  return std::min(linear, saturated);
+}
+
+double speedup(const MultithreadSpec& spec, std::size_t k) {
+  return segment_rate(spec, k) / segment_rate(spec, 1);
+}
+
+MultithreadSpec lwp_thread_spec(const arch::SystemParams& params,
+                                double switch_cost) {
+  params.validate();
+  require(params.ls_mix > 0.0,
+          "lwp_thread_spec: multithreading needs memory stalls (mix > 0)");
+  MultithreadSpec spec;
+  // Mean compute ops between accesses: (1-mix)/mix, each TLcycle long.
+  spec.run_cycles = params.tl_cycle * (1.0 - params.ls_mix) / params.ls_mix;
+  spec.stall_cycles = params.t_ml;
+  spec.switch_cost = switch_cost;
+  return spec;
+}
+
+double lwp_cost_per_op_mt(const arch::SystemParams& params, std::size_t k,
+                          double switch_cost) {
+  const MultithreadSpec spec = lwp_thread_spec(params, switch_cost);
+  // Operations per segment: the compute run plus the access itself.
+  const double ops_per_segment = 1.0 / params.ls_mix;
+  return 1.0 / (segment_rate(spec, k) * ops_per_segment);
+}
+
+double nb_mt(const arch::SystemParams& params, std::size_t k,
+             double switch_cost) {
+  return lwp_cost_per_op_mt(params, k, switch_cost) / params.hwp_cost_per_op();
+}
+
+double time_relative_mt(const arch::SystemParams& params, double n_nodes,
+                        double lwp_fraction, std::size_t k,
+                        double switch_cost) {
+  require(n_nodes >= 1.0, "time_relative_mt: need at least one node");
+  require(lwp_fraction >= 0.0 && lwp_fraction <= 1.0,
+          "time_relative_mt: %WL must be in [0,1]");
+  return 1.0 - lwp_fraction * (1.0 - nb_mt(params, k, switch_cost) / n_nodes);
+}
+
+}  // namespace pimsim::analytic

@@ -1,0 +1,69 @@
+// Multithreading at the PIM node, after Saavedra-Barrera, Culler & von
+// Eicken's multithreaded-architecture model [27], which the paper cites
+// and whose conclusion it extends to PIM: "our model demonstrates that
+// multithreading at the node can have tremendous benefit in PIM systems"
+// (Section 5.2).
+//
+// A thread alternates `run_cycles` of execution with `stall_cycles` of
+// (overlappable) memory stall; switching threads costs `switch_cost`.
+// With K threads per processor:
+//   * linear regime   (K < K_sat): throughput grows as K / (R + C + L),
+//   * saturated regime (K >= K_sat): bounded by 1 / (R + C),
+//   * K_sat = (R + C + L) / (R + C).
+//
+// The PIM mapping uses the Table 1 abstraction: an LWP thread runs
+// R = TLcycle * (1-mix)/mix cycles between accesses and stalls TML on
+// each; multithreading overlaps the row-buffer stall with other threads'
+// compute, lowering the effective LWP cost per operation and therefore
+// the break-even node count NB.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/params.hpp"
+
+namespace pimsim::analytic {
+
+/// One thread's steady-state cycle in the Saavedra-Barrera abstraction.
+struct MultithreadSpec {
+  double run_cycles = 10.0;    ///< R: execution between stalls
+  double stall_cycles = 30.0;  ///< L: overlappable memory stall
+  double switch_cost = 1.0;    ///< C: context switch (charged for K >= 2)
+
+  void validate() const;
+};
+
+/// Threads needed to saturate the processor: (R + C + L) / (R + C).
+[[nodiscard]] double saturation_threads(const MultithreadSpec& spec);
+
+/// Processor utilization (busy fraction, switches counted busy) with K
+/// threads: min(1, K / K_sat).  K = 1 pays no switches.
+[[nodiscard]] double utilization(const MultithreadSpec& spec, std::size_t k);
+
+/// Throughput in segments (one run + one stall) per cycle with K threads.
+[[nodiscard]] double segment_rate(const MultithreadSpec& spec, std::size_t k);
+
+/// Speedup of K threads over a single thread.
+[[nodiscard]] double speedup(const MultithreadSpec& spec, std::size_t k);
+
+// --- the PIM mapping ------------------------------------------------------
+
+/// The LWP thread cycle implied by the Table 1 parameters.
+[[nodiscard]] MultithreadSpec lwp_thread_spec(const arch::SystemParams& params,
+                                              double switch_cost);
+
+/// Effective HWP-cycles per LWP operation with K hardware threads.
+/// K = 1 reproduces SystemParams::lwp_cost_per_op().
+[[nodiscard]] double lwp_cost_per_op_mt(const arch::SystemParams& params,
+                                        std::size_t k, double switch_cost);
+
+/// The break-even node count with K-way multithreaded LWP nodes.
+[[nodiscard]] double nb_mt(const arch::SystemParams& params, std::size_t k,
+                           double switch_cost);
+
+/// Time_relative with multithreaded nodes (Figure 7 extension).
+[[nodiscard]] double time_relative_mt(const arch::SystemParams& params,
+                                      double n_nodes, double lwp_fraction,
+                                      std::size_t k, double switch_cost);
+
+}  // namespace pimsim::analytic

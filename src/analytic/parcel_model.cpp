@@ -1,0 +1,129 @@
+#include "analytic/parcel_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "queueing/mva.hpp"
+
+namespace pimsim::analytic {
+
+ParcelSegment derive_segment(const parcel::SplitTransactionParams& p) {
+  p.validate();
+  ParcelSegment s;
+  const double m = p.ls_mix;
+  const double r = p.p_remote;
+  s.mean_gap_ops = (1.0 - m) / m;
+  s.work_per_segment = s.mean_gap_ops + 1.0;
+
+  // Control node: compute, then the access. A remote access costs the
+  // request composition, the round trip, and the home-memory service.
+  s.control_cycle_time = s.mean_gap_ops + r * p.t_send +
+                         (1.0 - r) * p.t_local +
+                         r * (p.round_trip_latency + p.t_local);
+
+  // Test node processor time per segment: own execution plus the pro-rata
+  // service of incoming parcels (one per own remote request, in balance).
+  const double own_cpu = s.mean_gap_ops + (1.0 - r) * p.t_local +
+                         r * (p.t_send + p.t_switch);
+  s.test_cpu_time = own_cpu + r * (p.t_switch + p.t_local);
+
+  // Context suspension per remote access: round trip plus home service.
+  s.suspended_time = p.round_trip_latency + p.t_switch + p.t_local;
+  return s;
+}
+
+double control_throughput(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  return s.work_per_segment / s.control_cycle_time;
+}
+
+double test_throughput_saturated(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  return s.work_per_segment / s.test_cpu_time;
+}
+
+namespace {
+/// Per-context wall-clock time of one segment when the processor is idle
+/// enough that contexts never queue for it.
+double wall_time_per_segment(const parcel::SplitTransactionParams& p,
+                             const ParcelSegment& s) {
+  const double own_cpu = s.mean_gap_ops + (1.0 - p.p_remote) * p.t_local +
+                         p.p_remote * (p.t_send + p.t_switch);
+  return own_cpu + p.p_remote * s.suspended_time;
+}
+}  // namespace
+
+double saturation_parallelism(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  return wall_time_per_segment(p, s) / s.test_cpu_time;
+}
+
+double test_throughput(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  const double linear = static_cast<double>(p.parallelism) *
+                        s.work_per_segment / wall_time_per_segment(p, s);
+  return std::min(linear, test_throughput_saturated(p));
+}
+
+double predicted_ratio(const parcel::SplitTransactionParams& p) {
+  const double control = control_throughput(p);
+  ensure(control > 0.0, "parcel_model: zero control throughput");
+  return test_throughput(p) / control;
+}
+
+double control_idle_fraction(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  return p.p_remote * (p.round_trip_latency + p.t_local) / s.control_cycle_time;
+}
+
+double test_idle_fraction(const parcel::SplitTransactionParams& p) {
+  const double util =
+      std::min(1.0, static_cast<double>(p.parallelism) /
+                        saturation_parallelism(p));
+  return 1.0 - util;
+}
+
+namespace {
+
+/// The node as a closed network: one circulation = one segment.
+/// Station 0: the processor, demanded for the segment's own execution
+/// plus the pro-rata service of incoming parcels; station 1: the remote
+/// suspension, a pure delay taken on the fraction p_remote of segments.
+queueing::MvaResult solve_node_mva(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  std::vector<queueing::Station> stations(2);
+  stations[0] = {queueing::Station::Kind::kQueueing, s.test_cpu_time, 1.0};
+  stations[1] = {queueing::Station::Kind::kDelay,
+                 p.p_remote * s.suspended_time, 1.0};
+  return queueing::mva(stations, p.parallelism);
+}
+
+}  // namespace
+
+double test_throughput_mva(const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  return solve_node_mva(p).throughput * s.work_per_segment;
+}
+
+double test_idle_fraction_mva(const parcel::SplitTransactionParams& p) {
+  return 1.0 - solve_node_mva(p).utilization[0];
+}
+
+double predicted_ratio_mva(const parcel::SplitTransactionParams& p) {
+  const double control = control_throughput(p);
+  ensure(control > 0.0, "parcel_model: zero control throughput");
+  return test_throughput_mva(p) / control;
+}
+
+double test_throughput_bandwidth_bound(
+    const parcel::SplitTransactionParams& p) {
+  const ParcelSegment s = derive_segment(p);
+  const double messages_per_segment = 2.0 * p.p_remote;
+  if (p.nic_gap <= 0.0 || messages_per_segment <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return s.work_per_segment / (messages_per_segment * p.nic_gap);
+}
+
+}  // namespace pimsim::analytic

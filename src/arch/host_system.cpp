@@ -1,0 +1,166 @@
+#include "arch/host_system.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "common/error.hpp"
+#include "des/process.hpp"
+#include "des/resource.hpp"
+#include "des/simulation.hpp"
+#include "workload/workload.hpp"
+
+namespace pimsim::arch {
+
+void HostConfig::validate() const {
+  params.validate();
+  workload.validate();
+  require(lwp_nodes > 0, "HostConfig: need at least one LWP node");
+  require(phases > 0, "HostConfig: need at least one phase");
+  require(batch_ops > 0, "HostConfig: batch_ops must be positive");
+  require(lwps_per_bank > 0, "HostConfig: lwps_per_bank must be positive");
+  require(model_bank_conflicts || lwps_per_bank == 1,
+          "HostConfig: lwps_per_bank > 1 requires model_bank_conflicts");
+}
+
+namespace {
+
+/// Everything one run needs to share between master and worker coroutines.
+struct RunState {
+  des::Simulation sim;
+  std::vector<std::unique_ptr<Lwp>> lwps;
+  std::vector<std::unique_ptr<des::Resource>> ports;  // ablation only
+  std::optional<Hwp> hwp;
+  double hwp_cycles = 0.0;
+  double lwp_cycles = 0.0;
+};
+
+/// One LWP worker thread of a fork/join phase.
+des::Process lwp_thread(Lwp& lwp, std::uint64_t ops,
+                        des::CountdownLatch& barrier) {
+  co_await des::spawn_join(lwp.sim_ref(), lwp.run(ops));
+  barrier.count_down();
+}
+
+/// The HWP's share of an overlapped phase.
+des::Process hwp_part(RunState& state, std::uint64_t ops,
+                      des::CountdownLatch& barrier, SimTime* finished_at) {
+  co_await des::spawn_join(state.sim, state.hwp->run(ops));
+  *finished_at = state.sim.now();
+  barrier.count_down();
+}
+
+/// The master control flow of Figure 4.
+des::Process master(RunState& state, const HostConfig& config) {
+  const auto phase_plan = wl::make_phases(config.workload, config.phases);
+  const std::size_t threads = config.lwp_nodes;
+  for (const auto& phase : phase_plan) {
+    if (config.overlap_phases) {
+      // Extension mode: host and PIM array run their parts concurrently;
+      // the phase ends when the slower side finishes.
+      const SimTime start = state.sim.now();
+      const std::size_t parties = (phase.hwp_ops > 0 ? 1u : 0u) +
+                                  (phase.lwp_ops_total > 0 ? threads : 0u);
+      if (parties == 0) continue;
+      des::CountdownLatch barrier(state.sim, parties);
+      SimTime hwp_end = start;
+      SimTime lwp_end = start;
+      if (phase.hwp_ops > 0) {
+        state.sim.spawn(hwp_part(state, phase.hwp_ops, barrier, &hwp_end));
+      }
+      if (phase.lwp_ops_total > 0) {
+        const auto shares = wl::split_evenly(phase.lwp_ops_total, threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+          state.sim.spawn(lwp_thread(*state.lwps[t], shares[t], barrier));
+        }
+      }
+      co_await barrier.wait();
+      lwp_end = state.sim.now();
+      state.hwp_cycles += hwp_end - start;
+      state.lwp_cycles += lwp_end - start;
+      continue;
+    }
+    if (phase.hwp_ops > 0) {
+      const SimTime start = state.sim.now();
+      co_await des::spawn_join(state.sim, state.hwp->run(phase.hwp_ops));
+      state.hwp_cycles += state.sim.now() - start;
+    }
+    if (phase.lwp_ops_total > 0) {
+      const SimTime start = state.sim.now();
+      // Fork: one uniform-length thread per LWP execution context;
+      // join: barrier until all complete (the phase ends at the slowest).
+      const auto shares = wl::split_evenly(phase.lwp_ops_total, threads);
+      des::CountdownLatch barrier(state.sim, threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        state.sim.spawn(lwp_thread(*state.lwps[t], shares[t], barrier));
+      }
+      co_await barrier.wait();
+      state.lwp_cycles += state.sim.now() - start;
+    }
+  }
+}
+
+HostResult run_impl(const HostConfig& config) {
+  config.validate();
+  RunState state;
+  Rng root(config.seed);
+
+  state.hwp.emplace(state.sim, config.params, root.split(0), config.batch_ops);
+
+  const std::size_t threads = config.lwp_nodes;
+  if (config.model_bank_conflicts) {
+    // Single-ported banks; lwps_per_bank LWPs share each one. With
+    // lwps_per_bank == 1 this measures pure per-access serialization
+    // (each LWP has a private bank, so no conflicts, only event overhead).
+    const std::size_t banks =
+        (config.lwp_nodes + config.lwps_per_bank - 1) / config.lwps_per_bank;
+    state.ports.reserve(banks);
+    for (std::size_t b = 0; b < banks; ++b) {
+      state.ports.push_back(std::make_unique<des::Resource>(
+          state.sim, 1, "bank" + std::to_string(b) + ".port"));
+    }
+  }
+  state.lwps.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    des::Resource* port = config.model_bank_conflicts
+                              ? state.ports[t / config.lwps_per_bank].get()
+                              : nullptr;
+    state.lwps.push_back(std::make_unique<Lwp>(state.sim, config.params,
+                                               root.split(100 + t),
+                                               config.batch_ops, port));
+  }
+
+  state.sim.spawn(master(state, config));
+  state.sim.run();
+
+  HostResult out;
+  out.total_cycles = state.sim.now();
+  out.hwp_cycles = state.hwp_cycles;
+  out.lwp_cycles = state.lwp_cycles;
+  out.hwp_ops = state.hwp->counts().ops;
+  for (const auto& lwp : state.lwps) out.lwp_ops += lwp->counts().ops;
+  out.hwp_observed_miss_rate = state.hwp->observed_miss_rate();
+  return out;
+}
+
+}  // namespace
+
+HostResult run_host_system(const HostConfig& config) { return run_impl(config); }
+
+HostResult run_control_system(const HostConfig& config) {
+  // Control run: "the HWP performed all of the work" — same W, %WL = 0.
+  HostConfig control = config;
+  control.workload.lwp_fraction = 0.0;
+  control.model_bank_conflicts = false;
+  control.lwps_per_bank = 1;
+  control.overlap_phases = false;
+  return run_impl(control);
+}
+
+double simulated_gain(const HostConfig& config) {
+  const HostResult test = run_host_system(config);
+  const HostResult control = run_control_system(config);
+  ensure(test.total_cycles > 0.0, "simulated_gain: empty test run");
+  return control.total_cycles / test.total_cycles;
+}
+
+}  // namespace pimsim::arch

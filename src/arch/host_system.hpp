@@ -1,0 +1,69 @@
+// Composition of the paper's Section 3 system (Figure 1): one heavyweight
+// host processor plus an array of N lightweight PIM nodes, executing the
+// alternating-phase workload of Figure 4 (at any time either the HWP or
+// the LWP array runs, never both; each LWP phase is a fork/join of N
+// uniform threads, one per node).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/hwp.hpp"
+#include "arch/lwp.hpp"
+#include "arch/params.hpp"
+#include "workload/workload.hpp"
+
+namespace pimsim::arch {
+
+/// Full configuration of one simulated point.
+struct HostConfig {
+  SystemParams params;            ///< Table 1 machine parameters
+  wl::WorkloadSpec workload;      ///< W, %WL, mix
+  std::size_t lwp_nodes = 8;      ///< N
+  std::size_t phases = 4;         ///< alternating segments (Figure 4)
+  std::uint64_t batch_ops = 100'000;  ///< statistical batching granularity
+  std::uint64_t seed = 1;
+
+  // Bank-conflict ablation (paper: "bank conflicts are not modeled"):
+  // with model_bank_conflicts, every memory access goes through a
+  // single-ported bank, and lwps_per_bank > 1 makes that many LWPs share
+  // one bank (a chip with fewer banks than processors).
+  bool model_bank_conflicts = false;
+  std::size_t lwps_per_bank = 1;
+
+  // Extension: concurrent host+PIM execution. The paper's Figure 4 flow
+  // serializes the HWP and LWP parts of each phase ("at any one time,
+  // either the HWP or LWP array is executing but not both"); with
+  // overlap_phases the two parts of a phase run concurrently and the
+  // phase ends when both finish — the "PIM augmenting a host" mode the
+  // introduction motivates.
+  bool overlap_phases = false;
+
+  void validate() const;
+};
+
+/// Measured outcome of one run.
+struct HostResult {
+  double total_cycles = 0.0;  ///< makespan, HWP cycles
+  double hwp_cycles = 0.0;    ///< time spent in HWP phases
+  double lwp_cycles = 0.0;    ///< time spent in LWP fork/join phases
+  std::uint64_t hwp_ops = 0;
+  std::uint64_t lwp_ops = 0;
+  double hwp_observed_miss_rate = 0.0;
+
+  /// Makespan in nanoseconds under the configured HWP clock.
+  [[nodiscard]] double total_ns(const SystemParams& p) const {
+    return p.clock().to_ns(total_cycles);
+  }
+};
+
+/// Runs the PIM-augmented system to completion (simulation experiment).
+[[nodiscard]] HostResult run_host_system(const HostConfig& config);
+
+/// Runs the control: the HWP executes *all* work with its cache behaviour.
+[[nodiscard]] HostResult run_control_system(const HostConfig& config);
+
+/// Convenience: simulated gain = control makespan / test makespan.
+[[nodiscard]] double simulated_gain(const HostConfig& config);
+
+}  // namespace pimsim::arch

@@ -1,0 +1,62 @@
+// Heavyweight processor model (paper Figure 2).
+//
+// The HWP issues one operation per cycle; a load/store goes through the
+// cache (TCH cycles) and pays the main-memory penalty TMH on a miss
+// (probability Pmiss).  Operations are executed in batches: the number of
+// memory operations in a batch and the number of misses among them are
+// sampled from the exact binomial distributions, which is statistically
+// identical to per-operation Bernoulli draws but keeps event counts small
+// enough to run the paper's 10^8-operation points in milliseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/params.hpp"
+#include "common/rng.hpp"
+#include "des/process.hpp"
+#include "des/simulation.hpp"
+#include "memory/cache.hpp"
+#include "workload/access_pattern.hpp"
+
+namespace pimsim::arch {
+
+/// Cumulative operation accounting for one processor model.
+struct OpCounts {
+  std::uint64_t ops = 0;       ///< operations completed
+  std::uint64_t mem_ops = 0;   ///< of which loads/stores
+  std::uint64_t misses = 0;    ///< of which cache misses (HWP only)
+  double busy_cycles = 0.0;    ///< cycles spent executing
+};
+
+class Hwp {
+ public:
+  Hwp(des::Simulation& sim, const SystemParams& params, Rng rng,
+      std::uint64_t batch_ops = 100'000);
+
+  /// Coroutine that executes `ops` operations, advancing simulated time.
+  /// Cache misses are statistical (Bernoulli Pmiss, batched exactly).
+  [[nodiscard]] des::Process run(std::uint64_t ops);
+
+  /// Trace-driven variant: every load/store walks `pattern` through the
+  /// structural `cache`, so the miss rate *emerges* from the access
+  /// stream instead of being assumed.  Per-operation granularity — use
+  /// moderate op counts.  The observed miss rate is available afterwards
+  /// via observed_miss_rate().
+  [[nodiscard]] des::Process run_trace(std::uint64_t ops,
+                                       wl::AccessPattern& pattern,
+                                       mem::SetAssocCache& cache);
+
+  [[nodiscard]] const OpCounts& counts() const { return counts_; }
+  [[nodiscard]] const SystemParams& params() const { return params_; }
+  /// Observed cache miss rate over all memory operations so far.
+  [[nodiscard]] double observed_miss_rate() const;
+
+ private:
+  des::Simulation& sim_;
+  SystemParams params_;
+  Rng rng_;
+  std::uint64_t batch_ops_;
+  OpCounts counts_;
+};
+
+}  // namespace pimsim::arch

@@ -1,0 +1,49 @@
+// Lightweight PIM processor model (paper Figure 3).
+//
+// An LWP has no cache; it sits next to a memory row buffer, so every
+// load/store costs TML (already normalized to HWP cycles) and every other
+// operation costs one LWP cycle (TLcycle HWP cycles).  The default is the
+// paper's contention-free model ("bank conflicts are not modeled");
+// setting `memory_port` routes every memory access through a shared
+// des::Resource so the bank-conflict ablation can quantify what that
+// assumption hides.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/hwp.hpp"
+#include "arch/params.hpp"
+#include "common/rng.hpp"
+#include "des/process.hpp"
+#include "des/resource.hpp"
+#include "des/simulation.hpp"
+
+namespace pimsim::arch {
+
+class Lwp {
+ public:
+  /// `memory_port == nullptr` reproduces the paper's contention-free model.
+  /// With a port, *memory* time is serialized through it access-by-access
+  /// (use small op counts: this path is per-access, not batched).
+  Lwp(des::Simulation& sim, const SystemParams& params, Rng rng,
+      std::uint64_t batch_ops = 100'000, des::Resource* memory_port = nullptr);
+
+  /// Coroutine that executes `ops` LWP operations.
+  [[nodiscard]] des::Process run(std::uint64_t ops);
+
+  [[nodiscard]] const OpCounts& counts() const { return counts_; }
+  [[nodiscard]] des::Simulation& sim_ref() { return sim_; }
+
+ private:
+  des::Process run_batched(std::uint64_t ops);
+  des::Process run_with_port(std::uint64_t ops);
+
+  des::Simulation& sim_;
+  SystemParams params_;
+  Rng rng_;
+  std::uint64_t batch_ops_;
+  des::Resource* memory_port_;
+  OpCounts counts_;
+};
+
+}  // namespace pimsim::arch

@@ -1,0 +1,31 @@
+#include "arch/params.hpp"
+
+#include "common/error.hpp"
+
+namespace pimsim::arch {
+
+void SystemParams::validate() const {
+  require(th_cycle_ns > 0.0, "SystemParams: THcycle must be positive");
+  require(tl_cycle >= 1.0,
+          "SystemParams: TLcycle must be >= 1 HWP cycle (LWPs are slower)");
+  require(t_mh >= 0.0 && t_ch >= 0.0 && t_ml >= 0.0,
+          "SystemParams: access times must be non-negative");
+  require(p_miss >= 0.0 && p_miss <= 1.0,
+          "SystemParams: Pmiss must be in [0,1]");
+  require(ls_mix >= 0.0 && ls_mix <= 1.0,
+          "SystemParams: ls_mix must be in [0,1]");
+}
+
+double SystemParams::hwp_cost_per_op() const {
+  validate();
+  return 1.0 + ls_mix * (t_ch - 1.0 + p_miss * t_mh);
+}
+
+double SystemParams::lwp_cost_per_op() const {
+  validate();
+  return tl_cycle + ls_mix * (t_ml - tl_cycle);
+}
+
+double SystemParams::nb() const { return lwp_cost_per_op() / hwp_cost_per_op(); }
+
+}  // namespace pimsim::arch

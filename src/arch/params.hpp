@@ -1,0 +1,62 @@
+// Table 1 of the paper: "Parametric Assumptions and Metrics".
+//
+//   Parameter  Description                               Experimental Value
+//   W          total work = WH + WL                      100,000,000 operations
+//   %WH        percent heavyweight work                  varied 0% to 100%
+//   %WL        percent lightweight work                  varied 0% to 100%
+//   THcycle    heavyweight cycle time                    1 nsec
+//   TLcycle    lightweight cycle time                    5 nsec
+//   TMH        heavyweight memory access time            90 cycles
+//   TCH        heavyweight cache access time              2 cycles
+//   TML        lightweight memory access time            30 cycles
+//   Pmiss      heavyweight cache miss rate               0.1
+//   mix l/s    instruction mix for load and store ops    0.30
+//
+// All times are normalized to HWP cycles ("the units of cycles refers to
+// HWP cycles to normalize all times to the same base level").
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace pimsim::arch {
+
+/// The machine-side parameters of the paper's Section 3 model.
+struct SystemParams {
+  double th_cycle_ns = 1.0;  ///< THcycle: HWP cycle time in nanoseconds
+  double tl_cycle = 5.0;     ///< TLcycle: LWP cycle time, in HWP cycles
+  double t_mh = 90.0;        ///< TMH: HWP memory access time (miss penalty)
+  double t_ch = 2.0;         ///< TCH: HWP cache access time
+  double t_ml = 30.0;        ///< TML: LWP memory access time, in HWP cycles
+  double p_miss = 0.1;       ///< Pmiss: HWP cache miss rate
+  double ls_mix = 0.30;      ///< mix l/s: fraction of ops that load/store
+
+  /// Throws ConfigError on out-of-range values.
+  void validate() const;
+
+  /// The exact Table 1 values (also the default construction).
+  [[nodiscard]] static SystemParams table1() { return SystemParams{}; }
+
+  /// Mean HWP cycles per operation:
+  ///   1 + mix * (TCH - 1 + Pmiss * TMH)
+  /// (every op issues in 1 cycle; a load/store replaces that with a cache
+  /// access and pays the memory penalty on a miss).
+  [[nodiscard]] double hwp_cost_per_op() const;
+
+  /// Mean HWP cycles per LWP operation:
+  ///   TLcycle + mix * (TML - TLcycle)
+  /// (an LWP op takes an LWP cycle; a load/store takes the row-buffer
+  /// access time instead).
+  [[nodiscard]] double lwp_cost_per_op() const;
+
+  /// The paper's third orthogonal parameter:
+  ///   NB = lwp_cost_per_op / hwp_cost_per_op.
+  /// For N > NB PIM-augmented time is always <= the control's.
+  [[nodiscard]] double nb() const;
+
+  /// HWP clock for converting cycles to wall time.
+  [[nodiscard]] ClockSpec clock() const { return ClockSpec{th_cycle_ns}; }
+};
+
+}  // namespace pimsim::arch

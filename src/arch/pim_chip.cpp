@@ -1,0 +1,54 @@
+#include "arch/pim_chip.hpp"
+
+#include "common/error.hpp"
+
+namespace pimsim::arch {
+
+void PimChipSpec::validate() const {
+  macro.validate();
+  require(nodes > 0, "PimChipSpec: need at least one node");
+  require(lwp_cycle_ns > 0.0, "PimChipSpec: LWP cycle time must be positive");
+  require(macro_rows > 0, "PimChipSpec: need at least one row");
+}
+
+std::size_t PimChipSpec::node_capacity_bytes() const {
+  validate();
+  return macro_rows * macro.row_bits / 8;
+}
+
+std::size_t PimChipSpec::chip_capacity_bytes() const {
+  return node_capacity_bytes() * nodes;
+}
+
+double PimChipSpec::peak_bandwidth_gbps() const {
+  validate();
+  return macro.chip_bandwidth_gbps(nodes);
+}
+
+double PimChipSpec::lwp_access_ns() const {
+  validate();
+  return macro.row_access_ns + macro.page_access_ns;
+}
+
+SystemParams PimChipSpec::derive_params(const SystemParams& host_side) const {
+  validate();
+  host_side.validate();
+  SystemParams out = host_side;
+  // TLcycle and TML in HWP cycles, from this chip's clock and DRAM timing.
+  out.tl_cycle = lwp_cycle_ns / host_side.th_cycle_ns;
+  out.t_ml = lwp_access_ns() / host_side.th_cycle_ns;
+  out.validate();
+  return out;
+}
+
+double PimChipSpec::peak_gops(double ls_mix) const {
+  validate();
+  require(ls_mix >= 0.0 && ls_mix <= 1.0, "PimChipSpec: bad ls_mix");
+  // Per node: ops take lwp_cycle_ns, accesses take lwp_access_ns; the
+  // mean op cost is the mix-weighted blend (no overlap assumed).
+  const double mean_ns =
+      (1.0 - ls_mix) * lwp_cycle_ns + ls_mix * lwp_access_ns();
+  return static_cast<double>(nodes) / mean_ns;  // ops/ns = Gops/s
+}
+
+}  // namespace pimsim::arch

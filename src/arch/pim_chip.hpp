@@ -1,0 +1,53 @@
+// A PIM chip: many LWP/memory-macro pairs on one die (paper Sections 2.1
+// and 3.1).  This model ties the DRAM-level substrate (mem::DramMacroSpec)
+// to the Table 1 system abstraction: the lightweight memory access time
+// TML and the chip's aggregate bandwidth both *derive* from the row-buffer
+// geometry and timing instead of being free parameters.
+//
+// "The memory capacity on a single PIM chip may be partitioned into many
+//  separate memory banks, each with its own arithmetic and control logic.
+//  Each such bank, or node, is capable of independent and concurrent
+//  action..."
+#pragma once
+
+#include <cstddef>
+
+#include "arch/params.hpp"
+#include "memory/dram.hpp"
+
+namespace pimsim::arch {
+
+/// Physical description of one PIM chip.
+struct PimChipSpec {
+  mem::DramMacroSpec macro;        ///< per-node DRAM macro
+  std::size_t nodes = 32;          ///< LWP/macro pairs on the die
+  double lwp_cycle_ns = 5.0;       ///< LWP clock (Table 1: TLcycle = 5 ns)
+  std::size_t macro_rows = 4096;   ///< rows per macro (capacity knob)
+
+  void validate() const;
+
+  /// Memory capacity of one node in bytes (rows * row_bits / 8).
+  [[nodiscard]] std::size_t node_capacity_bytes() const;
+  /// Total chip capacity in bytes.
+  [[nodiscard]] std::size_t chip_capacity_bytes() const;
+
+  /// Chip-level peak on-chip bandwidth in Gbit/s (all nodes draining
+  /// their row buffers concurrently) — the paper's "> 1 Tbit/s" figure.
+  [[nodiscard]] double peak_bandwidth_gbps() const;
+
+  /// LWP memory access time implied by the macro timing (row activation
+  /// plus one wide-word page-out), in nanoseconds.
+  [[nodiscard]] double lwp_access_ns() const;
+
+  /// Derives the Table 1 machine parameters for a host with the given
+  /// cycle time, keeping the host-side cache parameters of `host_side`:
+  /// TLcycle and TML come from this chip's physics.
+  [[nodiscard]] SystemParams derive_params(const SystemParams& host_side) const;
+
+  /// Peak operation rate of the chip in Gops/s: one op per LWP cycle per
+  /// node, de-rated by the fraction of time lost to memory stalls at the
+  /// given load/store mix (contention-free bound).
+  [[nodiscard]] double peak_gops(double ls_mix) const;
+};
+
+}  // namespace pimsim::arch

@@ -1,0 +1,124 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pimsim {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    // Ignore google-benchmark style flags so mixed invocations work.
+    if (tok.rfind("--", 0) == 0) continue;
+    const auto eq = tok.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "Config: expected key=value, got '" + tok + "'");
+    cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::from_string(const std::string& text) {
+  // Whitespace-separated key=value tokens. Commas are NOT separators here:
+  // they belong to list values such as "nodes=1,2,4".
+  Config cfg;
+  std::string token;
+  std::istringstream in(text);
+  while (in >> token) {
+    const auto eq = token.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "Config: expected key=value, got '" + token + "'");
+    cfg.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  used_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0' && end != it->second.c_str(),
+          "Config: value for '" + key + "' is not a number: " + it->second);
+  return v;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && end != it->second.c_str(),
+          "Config: value for '" + key + "' is not an integer: " + it->second);
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw ConfigError("Config: value for '" + key + "' is not a bool: " + s);
+}
+
+std::vector<double> Config::get_list(const std::string& key,
+                                     const std::vector<double>& fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  std::istringstream in(it->second);
+  std::string piece;
+  while (std::getline(in, piece, ',')) {
+    if (piece.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(piece.c_str(), &end);
+    require(end != nullptr && *end == '\0' && end != piece.c_str(),
+            "Config: list element for '" + key + "' is not a number: " + piece);
+    out.push_back(v);
+  }
+  require(!out.empty(), "Config: list for '" + key + "' is empty");
+  return out;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (used_.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+void Config::reject_unused() const {
+  const auto unused = unused_keys();
+  if (unused.empty()) return;
+  std::string msg = "Config: unknown key(s):";
+  for (const auto& k : unused) msg += " " + k;
+  throw ConfigError(msg);
+}
+
+}  // namespace pimsim

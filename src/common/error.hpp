@@ -1,0 +1,37 @@
+// Error-handling helpers shared across pimsim.
+//
+// The simulator distinguishes two failure classes:
+//  * configuration/usage errors (bad parameter values, malformed config
+//    strings) -> ConfigError, recoverable by the caller;
+//  * internal invariant violations (scheduler ordering, resource misuse)
+//    -> LogicError, indicating a bug in the library or a client model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pimsim {
+
+/// Thrown for invalid user-supplied parameters or malformed configuration.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (library or model bug).
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Validates a user-facing precondition; throws ConfigError on failure.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw ConfigError(message);
+}
+
+/// Validates an internal invariant; throws LogicError on failure.
+inline void ensure(bool cond, const std::string& message) {
+  if (!cond) throw LogicError(message);
+}
+
+}  // namespace pimsim

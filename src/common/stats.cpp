@@ -1,0 +1,176 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pimsim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+TimeWeighted::TimeWeighted(double initial_value, double start_time)
+    : start_(start_time), last_t_(start_time), value_(initial_value),
+      max_(initial_value) {}
+
+void TimeWeighted::set(double t, double v) {
+  ensure(t >= last_t_, "TimeWeighted::set: time must be non-decreasing");
+  area_ += value_ * (t - last_t_);
+  last_t_ = t;
+  value_ = v;
+  max_ = std::max(max_, v);
+}
+
+void TimeWeighted::add(double t, double delta) { set(t, value_ + delta); }
+
+double TimeWeighted::mean(double t) const {
+  if (t <= start_) return value_;
+  return integral(t) / (t - start_);
+}
+
+double TimeWeighted::integral(double t) const {
+  ensure(t >= last_t_, "TimeWeighted::integral: time must be >= last update");
+  return area_ + value_ * (t - last_t_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  require(hi > lo, "Histogram: hi must be > lo");
+  require(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+    ++counts_[idx];
+  }
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::bin_count: bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  require(i <= counts_.size(), "Histogram::bin_lo: bin out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+namespace {
+
+/// Two-sided Student-t critical values; rows indexed by dof (1..30, then
+/// asymptotic), columns by confidence level {0.90, 0.95, 0.99}.
+double t_critical(std::size_t dof, double level) {
+  static constexpr double t90[] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943,
+                                   1.895, 1.860, 1.833, 1.812, 1.796, 1.782,
+                                   1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+                                   1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+                                   1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  static constexpr double t95[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447,
+                                   2.365,  2.306, 2.262, 2.228, 2.201, 2.179,
+                                   2.160,  2.145, 2.131, 2.120, 2.110, 2.101,
+                                   2.093,  2.086, 2.080, 2.074, 2.069, 2.064,
+                                   2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  static constexpr double t99[] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707,
+                                   3.499,  3.355, 3.250, 3.169, 3.106, 3.055,
+                                   3.012,  2.977, 2.947, 2.921, 2.898, 2.878,
+                                   2.861,  2.845, 2.831, 2.819, 2.807, 2.797,
+                                   2.787,  2.779, 2.771, 2.763, 2.756, 2.750};
+  const double* table = nullptr;
+  double asym = 0.0;
+  if (level >= 0.985) {
+    table = t99;
+    asym = 2.576;
+  } else if (level >= 0.93) {
+    table = t95;
+    asym = 1.960;
+  } else {
+    table = t90;
+    asym = 1.645;
+  }
+  if (dof == 0) return std::numeric_limits<double>::infinity();
+  if (dof <= 30) return table[dof - 1];
+  return asym;
+}
+
+}  // namespace
+
+double confidence_half_width(const RunningStats& stats, double level) {
+  require(level > 0.0 && level < 1.0,
+          "confidence_half_width: level must be in (0,1)");
+  if (stats.count() < 2) return 0.0;
+  const double se = stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  return t_critical(stats.count() - 1, level) * se;
+}
+
+Estimate estimate_from(const RunningStats& stats) {
+  return Estimate{stats.mean(), confidence_half_width(stats, 0.95)};
+}
+
+}  // namespace pimsim

@@ -1,0 +1,105 @@
+// Statistics accumulators used by the simulation kernel and experiment
+// harness: Welford running moments, time-weighted averages for utilization
+// and queue-length observables, fixed-bin histograms, and Student-t
+// confidence intervals over replications.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimsim {
+
+/// Running mean/variance via Welford's algorithm; numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// busy servers of a resource or an instantaneous queue length.
+///
+/// Call `set(t, v)` whenever the signal changes; `mean(t)` integrates up to t.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double initial_value = 0.0, double start_time = 0.0);
+
+  /// Records that the signal takes value v from time t onward.
+  void set(double t, double v);
+  /// Adds delta to the current value at time t.
+  void add(double t, double delta);
+
+  [[nodiscard]] double current() const { return value_; }
+  /// Time-average of the signal over [start, t].
+  [[nodiscard]] double mean(double t) const;
+  /// Total integral of the signal over [start, t].
+  [[nodiscard]] double integral(double t) const;
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  double start_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double area_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples are counted
+/// in underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  /// Approximate quantile (linear within the containing bin).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Symmetric confidence half-width for the mean of `stats` at the given
+/// confidence level (two-sided Student t, supported levels 0.90/0.95/0.99).
+[[nodiscard]] double confidence_half_width(const RunningStats& stats, double level);
+
+/// Summary of replicated measurements: mean +/- half-width.
+struct Estimate {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 95% CI half-width; 0 for single replication.
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+};
+
+/// Builds a 95% estimate from per-replication samples.
+[[nodiscard]] Estimate estimate_from(const RunningStats& stats);
+
+}  // namespace pimsim

@@ -1,0 +1,120 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pimsim {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  require(cells.size() == columns_.size(),
+          "Table::add_row: cell count does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<Cell>& Table::row(std::size_t i) const {
+  require(i < rows_.size(), "Table::row: index out of range");
+  return rows_[i];
+}
+
+double Table::number_at(std::size_t r, std::size_t c) const {
+  const auto& cell = row(r).at(c);
+  if (const auto* d = std::get_if<double>(&cell)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return static_cast<double>(*i);
+  }
+  throw ConfigError("Table::number_at: cell is not numeric");
+}
+
+std::string format_number(double v) {
+  char buf[64];
+  const double a = std::fabs(v);
+  // Snap floating-point noise (e.g. 30.000000000000004) to the integer.
+  const bool near_int =
+      std::fabs(v - std::nearbyint(v)) <= 1e-9 * std::fmax(a, 1.0);
+  if (v == 0.0) {
+    return "0";
+  } else if (a >= 1e7 || a < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  } else if (near_int) {
+    std::snprintf(buf, sizeof buf, "%.0f", std::nearbyint(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+  }
+  return buf;
+}
+
+namespace {
+
+std::string cell_text(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* d = std::get_if<double>(&c)) return format_number(*d);
+  return std::to_string(std::get<std::int64_t>(c));
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      line.push_back(cell_text(r[c]));
+      width[c] = std::max(width[c], line.back().size());
+    }
+    rendered.push_back(std::move(line));
+  }
+
+  os << "# " << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << line[c];
+      for (std::size_t pad = line[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& line : rendered) emit(line);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  os << "# " << title_ << "\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << quote(columns_[c]);
+  }
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "" : ",") << quote(cell_text(r[c]));
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace pimsim

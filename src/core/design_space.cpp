@@ -1,0 +1,53 @@
+#include "core/design_space.hpp"
+
+#include <cmath>
+
+#include "analytic/hwp_lwp.hpp"
+#include "analytic/parcel_model.hpp"
+#include "common/table.hpp"
+
+namespace pimsim::core {
+
+const char* to_string(Regime regime) {
+  switch (regime) {
+    case Regime::kPimHurts: return "pim-hurts";
+    case Regime::kBreakEven: return "break-even";
+    case Regime::kPimModerate: return "pim-moderate";
+    case Regime::kPimStrong: return "pim-strong";
+    case Regime::kPimDramatic: return "pim-dramatic";
+  }
+  return "unknown";
+}
+
+Regime classify_host_point(const arch::SystemParams& params, double n_nodes,
+                           double lwp_fraction) {
+  const double g = analytic::gain(params, n_nodes, lwp_fraction);
+  if (g > 10.0) return Regime::kPimDramatic;
+  if (g > 2.0) return Regime::kPimStrong;
+  if (g > 1.001) return Regime::kPimModerate;
+  if (g >= 0.999) return Regime::kBreakEven;
+  return Regime::kPimHurts;
+}
+
+ParcelAdvice advise_parcels(const parcel::SplitTransactionParams& params) {
+  ParcelAdvice advice;
+  advice.predicted_ratio = analytic::predicted_ratio(params);
+  advice.saturation_parallelism = analytic::saturation_parallelism(params);
+  advice.worthwhile = advice.predicted_ratio > 1.0;
+  if (advice.worthwhile) {
+    advice.reason = "split transactions hide " +
+                    format_number(params.round_trip_latency) +
+                    "-cycle latency; provision >= " +
+                    format_number(std::ceil(advice.saturation_parallelism)) +
+                    " parcel contexts per node to saturate";
+  } else if (params.parallelism <= 1) {
+    advice.reason = "insufficient parallelism: a single context cannot "
+                    "overlap communication with computation";
+  } else {
+    advice.reason = "system-wide latency is too short to amortize the "
+                    "context-switch overhead (paper's reversed regime)";
+  }
+  return advice;
+}
+
+}  // namespace pimsim::core

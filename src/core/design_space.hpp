@@ -1,0 +1,40 @@
+// Design-space queries built on the validated models: the "quantitative
+// framework for assessing the tradeoff space" the paper argues for
+// (Section 2.3), packaged as a small decision API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/params.hpp"
+#include "parcel/system.hpp"
+
+namespace pimsim::core {
+
+/// Operating regime of a host+PIM configuration.
+enum class Regime : std::uint8_t {
+  kPimHurts,     ///< N < NB: PIM-assigned work slows the system down
+  kBreakEven,    ///< N ~= NB: indifferent
+  kPimModerate,  ///< gain in (1, 2]
+  kPimStrong,    ///< gain in (2, 10]
+  kPimDramatic,  ///< gain > 10 ("an order of magnitude or more")
+};
+
+[[nodiscard]] const char* to_string(Regime regime);
+
+/// Classifies a design point via the analytic model.
+[[nodiscard]] Regime classify_host_point(const arch::SystemParams& params,
+                                         double n_nodes, double lwp_fraction);
+
+/// Answers "does split-transaction parcel processing pay off here?"
+struct ParcelAdvice {
+  double predicted_ratio = 0.0;      ///< analytic test/control work ratio
+  double saturation_parallelism = 0; ///< contexts per node to saturate
+  bool worthwhile = false;           ///< predicted_ratio > 1
+  std::string reason;
+};
+
+[[nodiscard]] ParcelAdvice advise_parcels(
+    const parcel::SplitTransactionParams& params);
+
+}  // namespace pimsim::core

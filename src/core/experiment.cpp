@@ -1,0 +1,46 @@
+#include "core/experiment.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pimsim::core {
+
+std::vector<std::size_t> pow2_range(std::size_t max) {
+  require(max >= 1, "pow2_range: max must be >= 1");
+  std::vector<std::size_t> out;
+  for (std::size_t v = 1; v <= max; v *= 2) {
+    out.push_back(v);
+    if (v > max / 2) break;  // avoid overflow on the doubling
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  require(count >= 2, "linspace: need at least two points");
+  require(hi >= lo, "linspace: hi must be >= lo");
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // exact endpoint
+  return out;
+}
+
+std::vector<double> fraction_range(std::size_t steps) {
+  return linspace(0.0, 1.0, steps + 1);
+}
+
+Estimate replicate(std::size_t replications, std::uint64_t base_seed,
+                   const std::function<double(std::uint64_t)>& measure) {
+  require(replications >= 1, "replicate: need at least one replication");
+  require(static_cast<bool>(measure), "replicate: empty measurement");
+  RunningStats stats;
+  SplitMix64 seeder(base_seed);
+  for (std::size_t i = 0; i < replications; ++i) {
+    stats.add(measure(seeder.next()));
+  }
+  return estimate_from(stats);
+}
+
+}  // namespace pimsim::core

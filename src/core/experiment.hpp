@@ -1,0 +1,32 @@
+// Parameter sweeps and replicated measurements.
+//
+// The paper's methodology is "statistical steady-state parametric models
+// ... varied across suitable ranges"; these helpers generate the ranges
+// and run each point over several seeds to attach confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace pimsim::core {
+
+/// {1, 2, 4, ..., <= max} — the node-count axes of Figures 5, 6 and 12.
+[[nodiscard]] std::vector<std::size_t> pow2_range(std::size_t max);
+
+/// `count` evenly spaced values over [lo, hi] inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t count);
+
+/// {0.0, 0.1, ..., 1.0} — the %WL axis of Figures 5-7.
+[[nodiscard]] std::vector<double> fraction_range(std::size_t steps = 10);
+
+/// Runs `measure(seed)` for `replications` derived seeds and returns the
+/// mean with a 95% confidence half-width.
+[[nodiscard]] Estimate replicate(
+    std::size_t replications, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& measure);
+
+}  // namespace pimsim::core

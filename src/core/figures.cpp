@@ -1,0 +1,262 @@
+#include "core/figures.hpp"
+
+#include <string>
+
+#include "analytic/accuracy.hpp"
+#include "analytic/hwp_lwp.hpp"
+#include "analytic/parcel_model.hpp"
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "memory/dram.hpp"
+
+namespace pimsim::core {
+
+namespace {
+
+std::string pct_label(double fraction) {
+  return format_number(fraction * 100.0) + "% LWT";
+}
+
+}  // namespace
+
+Table make_table1(const arch::SystemParams& params) {
+  params.validate();
+  Table t("Table 1: Parametric Assumptions and Metrics",
+          {"Parameter", "Description", "Value"});
+  const wl::WorkloadSpec workload_defaults;
+  t.add_row({std::string("W"), std::string("total work = WH + WL (operations)"),
+             static_cast<std::int64_t>(workload_defaults.total_ops)});
+  t.add_row({std::string("%WH"), std::string("percent heavyweight work"),
+             std::string("varied 0% to 100%")});
+  t.add_row({std::string("%WL"), std::string("percent lightweight work"),
+             std::string("varied 0% to 100%")});
+  t.add_row({std::string("THcycle"), std::string("heavyweight cycle time (ns)"),
+             params.th_cycle_ns});
+  t.add_row({std::string("TLcycle"),
+             std::string("lightweight cycle time (HWP cycles)"),
+             params.tl_cycle});
+  t.add_row({std::string("TMH"),
+             std::string("heavyweight memory access time (cycles)"),
+             params.t_mh});
+  t.add_row({std::string("TCH"),
+             std::string("heavyweight cache access time (cycles)"), params.t_ch});
+  t.add_row({std::string("TML"),
+             std::string("lightweight memory access time (cycles)"), params.t_ml});
+  t.add_row({std::string("Pmiss"), std::string("heavyweight cache miss rate"),
+             params.p_miss});
+  t.add_row({std::string("mix l/s"),
+             std::string("instruction mix for load and store ops"),
+             params.ls_mix});
+  t.add_row({std::string("-> HWP cost/op"),
+             std::string("derived: 1 + mix*(TCH-1+Pmiss*TMH) (cycles)"),
+             params.hwp_cost_per_op()});
+  t.add_row({std::string("-> LWP cost/op"),
+             std::string("derived: TLcycle + mix*(TML-TLcycle) (cycles)"),
+             params.lwp_cost_per_op()});
+  t.add_row({std::string("-> NB"),
+             std::string("derived: LWP/HWP cost ratio (break-even nodes)"),
+             params.nb()});
+  return t;
+}
+
+HostFigureConfig HostFigureConfig::defaults_fig5() {
+  HostFigureConfig c;
+  c.node_counts = pow2_range(256);
+  c.lwp_fractions = fraction_range(10);
+  return c;
+}
+
+HostFigureConfig HostFigureConfig::defaults_fig6() {
+  HostFigureConfig c;
+  c.node_counts = pow2_range(64);
+  c.lwp_fractions = fraction_range(10);
+  return c;
+}
+
+Table make_fig5(const HostFigureConfig& config) {
+  require(!config.node_counts.empty() && !config.lwp_fractions.empty(),
+          "make_fig5: empty axes");
+  std::vector<std::string> cols{"%WL"};
+  for (std::size_t n : config.node_counts) {
+    cols.push_back("gain N=" + std::to_string(n));
+  }
+  Table t("Figure 5: Simulation of Performance Gain (test vs control)", cols);
+
+  for (double pct : config.lwp_fractions) {
+    std::vector<Cell> row{pct * 100.0};
+    for (std::size_t n : config.node_counts) {
+      arch::HostConfig cfg = config.base;
+      cfg.lwp_nodes = n;
+      cfg.workload.lwp_fraction = pct;
+      const Estimate est = replicate(
+          config.replications, cfg.seed, [&cfg](std::uint64_t seed) {
+            arch::HostConfig point = cfg;
+            point.seed = seed;
+            return arch::simulated_gain(point);
+          });
+      row.push_back(est.mean);
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table make_fig6(const HostFigureConfig& config) {
+  require(!config.node_counts.empty() && !config.lwp_fractions.empty(),
+          "make_fig6: empty axes");
+  std::vector<std::string> cols{"Nodes"};
+  for (double pct : config.lwp_fractions) {
+    cols.push_back(pct == 0.0 ? "No LWT Work (ns)" : pct_label(pct) + " (ns)");
+  }
+  Table t("Figure 6: Single Thread/Node Response Time (unnormalized, ns)",
+          cols);
+
+  for (std::size_t n : config.node_counts) {
+    std::vector<Cell> row{static_cast<std::int64_t>(n)};
+    for (double pct : config.lwp_fractions) {
+      arch::HostConfig cfg = config.base;
+      cfg.lwp_nodes = n;
+      cfg.workload.lwp_fraction = pct;
+      const Estimate est = replicate(
+          config.replications, cfg.seed, [&cfg](std::uint64_t seed) {
+            arch::HostConfig point = cfg;
+            point.seed = seed;
+            return arch::run_host_system(point).total_ns(point.params);
+          });
+      row.push_back(est.mean);
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table make_fig7(const arch::SystemParams& params,
+                const std::vector<double>& node_counts,
+                const std::vector<double>& lwp_fractions) {
+  require(!node_counts.empty() && !lwp_fractions.empty(),
+          "make_fig7: empty axes");
+  std::vector<std::string> cols{"Nodes"};
+  for (double pct : lwp_fractions) cols.push_back(pct_label(pct));
+  Table t("Figure 7: Normalized Time_relative = 1 - %WL*(1 - NB/N)  [NB = " +
+              format_number(params.nb()) + "]",
+          cols);
+  for (double n : node_counts) {
+    std::vector<Cell> row{n};
+    for (double pct : lwp_fractions) {
+      row.push_back(analytic::time_relative(params, n, pct));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table make_accuracy_table(const HostFigureConfig& config) {
+  const auto entries = analytic::compare_grid(config.base, config.node_counts,
+                                              config.lwp_fractions);
+  Table t("Section 3.1.2: simulation vs analytic model (paper: 5%-18%)",
+          {"Nodes", "%WL", "sim (cycles)", "model (cycles)", "rel err %"});
+  for (const auto& e : entries) {
+    t.add_row({static_cast<std::int64_t>(e.nodes), e.lwp_fraction * 100.0,
+               e.simulated_cycles, e.model_cycles, e.rel_error * 100.0});
+  }
+  return t;
+}
+
+ParcelFigureConfig ParcelFigureConfig::defaults_fig11() {
+  ParcelFigureConfig c;
+  c.base.nodes = 16;
+  c.base.horizon = 50'000.0;
+  c.latencies = {10, 20, 50, 100, 200, 500, 1000, 2000};
+  c.remote_fractions = {0.02, 0.05, 0.10, 0.20, 0.50};
+  c.parallelism = {1, 2, 4, 8, 16, 32};  // the paper's "six major experiments"
+  return c;
+}
+
+ParcelFigureConfig ParcelFigureConfig::defaults_fig12() {
+  ParcelFigureConfig c;
+  c.base.horizon = 20'000.0;
+  c.base.round_trip_latency = 200.0;
+  c.base.p_remote = 0.10;
+  c.parallelism = {1, 2, 4, 8, 16, 32};
+  // The paper's "8 major experimental sets ... from single node systems
+  // ... to 256 nodes"; its 16-node case failed, ours is included.
+  c.node_counts = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return c;
+}
+
+Table make_fig11(const ParcelFigureConfig& config) {
+  require(!config.latencies.empty() && !config.remote_fractions.empty() &&
+              !config.parallelism.empty(),
+          "make_fig11: empty axes");
+  Table t("Figure 11: Latency Hiding with Parcels (ops ratio test/control)",
+          {"Parallelism", "%remote", "Latency (cycles)", "ratio",
+           "ratio (model)", "ratio (MVA)"});
+  // The control system has no parallelism knob, so run it once per
+  // (remote fraction, latency) pair and reuse it across the panels.
+  for (double remote : config.remote_fractions) {
+    for (double latency : config.latencies) {
+      parcel::SplitTransactionParams base = config.base;
+      base.p_remote = remote;
+      base.round_trip_latency = latency;
+      const double control_work =
+          parcel::run_message_passing_system(base).total_work();
+      for (std::size_t par : config.parallelism) {
+        parcel::SplitTransactionParams p = base;
+        p.parallelism = par;
+        const double test_work =
+            parcel::run_split_transaction_system(p).total_work();
+        t.add_row({static_cast<std::int64_t>(par), remote * 100.0, latency,
+                   test_work / control_work, analytic::predicted_ratio(p),
+                   analytic::predicted_ratio_mva(p)});
+      }
+    }
+  }
+  return t;
+}
+
+Table make_fig12(const ParcelFigureConfig& config) {
+  require(!config.parallelism.empty() && !config.node_counts.empty(),
+          "make_fig12: empty axes");
+  Table t("Figure 12: Idle Time with respect to Degree of Parallelism",
+          {"Nodes", "Parallelism", "test idle %", "control idle %"});
+  for (std::size_t nodes : config.node_counts) {
+    // The control system has no parallelism knob: run it once per size.
+    parcel::SplitTransactionParams base = config.base;
+    base.nodes = nodes;
+    const auto control = parcel::run_message_passing_system(base);
+    const double control_idle = control.mean_idle_fraction();
+    for (std::size_t par : config.parallelism) {
+      parcel::SplitTransactionParams p = base;
+      p.parallelism = par;
+      const auto test = parcel::run_split_transaction_system(p);
+      t.add_row({static_cast<std::int64_t>(nodes),
+                 static_cast<std::int64_t>(par),
+                 test.mean_idle_fraction() * 100.0, control_idle * 100.0});
+    }
+  }
+  return t;
+}
+
+Table make_bandwidth_table() {
+  const mem::DramMacroSpec spec;
+  Table t("Section 2.1: on-chip DRAM macro bandwidth",
+          {"Quantity", "Value", "Paper claim"});
+  t.add_row({std::string("row size (bits)"),
+             static_cast<std::int64_t>(spec.row_bits), std::string("2048")});
+  t.add_row({std::string("wide word (bits)"),
+             static_cast<std::int64_t>(spec.word_bits), std::string("256")});
+  t.add_row({std::string("row access (ns)"), spec.row_access_ns,
+             std::string("20 (conservative)")});
+  t.add_row({std::string("page access (ns)"), spec.page_access_ns,
+             std::string("2")});
+  t.add_row({std::string("macro sustained (Gbit/s)"),
+             spec.sustained_bandwidth_gbps(), std::string("over 50")});
+  t.add_row({std::string("macro burst (Gbit/s)"), spec.burst_bandwidth_gbps(),
+             std::string("-")});
+  t.add_row({std::string("chip, 32 nodes (Tbit/s)"),
+             spec.chip_bandwidth_gbps(32) / 1000.0,
+             std::string("greater than 1")});
+  return t;
+}
+
+}  // namespace pimsim::core

@@ -1,0 +1,73 @@
+// Regeneration of every data-bearing table and figure of the paper.
+//
+// Each function returns a common::Table holding the same rows/series the
+// paper plots; the bench binaries print them, and the integration tests
+// assert their qualitative shape (who wins, crossovers, saturation).
+// Figures 1-4 and 8-10 are block diagrams with no data and are therefore
+// not reproduced (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/host_system.hpp"
+#include "common/table.hpp"
+#include "parcel/system.hpp"
+
+namespace pimsim::core {
+
+/// Table 1: parametric assumptions plus the derived per-op costs and NB.
+[[nodiscard]] Table make_table1(const arch::SystemParams& params);
+
+/// Common knobs of the Section 3 (HWP/LWP) figure reproductions.
+struct HostFigureConfig {
+  arch::HostConfig base;                     ///< Table 1 defaults
+  std::vector<std::size_t> node_counts;      ///< N axis
+  std::vector<double> lwp_fractions;         ///< %WL axis / curve family
+  std::size_t replications = 3;
+
+  /// Paper axes: N in {1..256} (Fig 5) / {1..64} (Fig 6), %WL 0..100%.
+  [[nodiscard]] static HostFigureConfig defaults_fig5();
+  [[nodiscard]] static HostFigureConfig defaults_fig6();
+};
+
+/// Figure 5: simulated performance gain vs %WL, one column per node count.
+[[nodiscard]] Table make_fig5(const HostFigureConfig& config);
+
+/// Figure 6: unnormalized response time (ns) vs node count, one column
+/// per %WL curve ("No LWT Work", "10% LWT", ..., "100% LWT").
+[[nodiscard]] Table make_fig6(const HostFigureConfig& config);
+
+/// Figure 7: analytic normalized Time_relative vs node count, one column
+/// per %WL; exposes the coincidence point at N = NB.
+[[nodiscard]] Table make_fig7(const arch::SystemParams& params,
+                              const std::vector<double>& node_counts,
+                              const std::vector<double>& lwp_fractions);
+
+/// Section 3.1.2 accuracy claim: sim-vs-analytic relative error grid.
+[[nodiscard]] Table make_accuracy_table(const HostFigureConfig& config);
+
+/// Common knobs of the Section 4 (parcel) figure reproductions.
+struct ParcelFigureConfig {
+  parcel::SplitTransactionParams base;
+  std::vector<double> latencies;        ///< L axis (Figure 11)
+  std::vector<double> remote_fractions; ///< curve family (Figure 11)
+  std::vector<std::size_t> parallelism; ///< panels (Fig 11) / x-axis (Fig 12)
+  std::vector<std::size_t> node_counts; ///< panels (Figure 12)
+
+  [[nodiscard]] static ParcelFigureConfig defaults_fig11();
+  [[nodiscard]] static ParcelFigureConfig defaults_fig12();
+};
+
+/// Figure 11: work ratio (test/control) vs system-wide latency, grouped by
+/// parallelism degree, one curve per remote-access percentage.
+[[nodiscard]] Table make_fig11(const ParcelFigureConfig& config);
+
+/// Figure 12: idle fraction of both systems vs degree of parallelism,
+/// grouped by system size (paper: 1..256 nodes, 16 missing; ours runs 16).
+[[nodiscard]] Table make_fig12(const ParcelFigureConfig& config);
+
+/// Section 2.1 DRAM bandwidth claims (50 Gbit/s macro, > 1 Tbit/s chip).
+[[nodiscard]] Table make_bandwidth_table();
+
+}  // namespace pimsim::core

@@ -1,0 +1,6 @@
+// process.hpp is header-only; this translation unit exists to give the
+// coroutine layer a home in the library and to type-check the header
+// standalone.
+#include "des/process.hpp"
+
+namespace pimsim::des {}

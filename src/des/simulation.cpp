@@ -1,0 +1,134 @@
+#include "des/simulation.hpp"
+
+#include "common/error.hpp"
+#include "des/process.hpp"
+
+namespace pimsim::des {
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() {
+  // Destroy any still-suspended process frames. Guard against coroutine
+  // destructors scheduling new work or unregistering re-entrantly.
+  destroying_ = true;
+  auto frames = live_;
+  live_.clear();
+  for (void* addr : frames) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+EventId Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  ensure(at >= now_, "Simulation::schedule_at: cannot schedule in the past");
+  ensure(static_cast<bool>(fn), "Simulation::schedule_at: empty callback");
+  const EventId id = next_seq_++;
+  calendar_.push(Event{at, id, id});
+  actions_.emplace(id, std::move(fn));
+  if (tracer_) trace(TraceKind::kEventScheduled, "event", std::to_string(id));
+  return id;
+}
+
+EventId Simulation::schedule_in(Cycles delay, std::function<void()> fn) {
+  ensure(delay >= 0.0, "Simulation::schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_now(std::function<void()> fn) {
+  return schedule_at(now_, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  const bool erased = actions_.erase(id) > 0;
+  if (erased && tracer_) {
+    trace(TraceKind::kEventCancelled, "event", std::to_string(id));
+  }
+  return erased;
+}
+
+std::size_t Simulation::events_pending() const { return actions_.size(); }
+
+void Simulation::dispatch(const Event& ev) {
+  auto it = actions_.find(ev.id);
+  if (it == actions_.end()) return;  // cancelled
+  // Move the action out before invoking so the callback may schedule/cancel.
+  std::function<void()> fn = std::move(it->second);
+  actions_.erase(it);
+  now_ = ev.time;
+  ++dispatched_;
+  if (tracer_) trace(TraceKind::kEventDispatched, "event", std::to_string(ev.id));
+  fn();
+}
+
+void Simulation::rethrow_pending() {
+  if (pending_exception_) {
+    std::exception_ptr ep = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ep);
+  }
+}
+
+void Simulation::run() {
+  while (!calendar_.empty()) {
+    const Event ev = calendar_.top();
+    calendar_.pop();
+    dispatch(ev);
+    rethrow_pending();
+  }
+}
+
+void Simulation::run_until(SimTime horizon) {
+  ensure(horizon >= now_, "Simulation::run_until: horizon is in the past");
+  while (!calendar_.empty() && calendar_.top().time <= horizon) {
+    const Event ev = calendar_.top();
+    calendar_.pop();
+    dispatch(ev);
+    rethrow_pending();
+  }
+  now_ = horizon;
+}
+
+bool Simulation::step() {
+  while (!calendar_.empty()) {
+    const Event ev = calendar_.top();
+    calendar_.pop();
+    const bool live = actions_.count(ev.id) > 0;
+    dispatch(ev);
+    rethrow_pending();
+    if (live) return true;
+  }
+  return false;
+}
+
+void Simulation::spawn(Process process) {
+  auto h = process.release_for_spawn(*this);
+  if (tracer_) trace(TraceKind::kProcessSpawned, "process");
+  // Start the body via the calendar so spawn() never runs model code inline;
+  // this keeps spawn order == start order at a given timestamp.
+  resume_soon(h);
+}
+
+void Simulation::resume_soon(std::coroutine_handle<> h) {
+  schedule_now([h] { h.resume(); });
+}
+
+void Simulation::register_process(std::coroutine_handle<> h) {
+  live_.insert(h.address());
+}
+
+void Simulation::unregister_process(std::coroutine_handle<> h) {
+  if (destroying_) return;
+  live_.erase(h.address());
+  if (tracer_) trace(TraceKind::kProcessFinished, "process");
+}
+
+void Simulation::set_pending_exception(std::exception_ptr ep) {
+  // Keep the first exception; nested failures would mask the root cause.
+  if (!pending_exception_) pending_exception_ = ep;
+}
+
+void Simulation::trace(TraceKind kind, const std::string& label,
+                       const std::string& detail) const {
+  if (tracer_) tracer_->record(TraceRecord{now_, kind, label, detail});
+}
+
+}  // namespace pimsim::des

@@ -1,0 +1,127 @@
+// The discrete-event scheduler at the heart of pimsim.
+//
+// This is the replacement for the HyPerformix SES/Workbench kernel the
+// paper used: a single-threaded event calendar with deterministic
+// (time, insertion-order) dispatch, plus a C++20-coroutine process layer
+// declared in process.hpp.
+//
+// Typical use:
+//
+//   des::Simulation sim;
+//   sim.spawn(my_model(sim, ...));      // my_model returns des::Process
+//   sim.run();                          // or sim.run_until(horizon)
+//
+// Determinism: two events scheduled for the same timestamp dispatch in
+// scheduling order, so a model that uses only Simulation-provided
+// primitives and pimsim::Rng streams is bit-reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "des/trace.hpp"
+
+namespace pimsim::des {
+
+class Process;
+
+/// Identifies a scheduled event so it can be cancelled before dispatch.
+using EventId = std::uint64_t;
+/// Sentinel returned when no cancellable handle is needed.
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation time in HWP cycles.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` to run after `delay` cycles.
+  EventId schedule_in(Cycles delay, std::function<void()> fn);
+  /// Schedules `fn` to run at the current time, after pending same-time events.
+  EventId schedule_now(std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if already dispatched/unknown.
+  bool cancel(EventId id);
+
+  /// Runs until the event calendar is empty.
+  void run();
+  /// Runs all events with time <= horizon, then advances now() to horizon.
+  void run_until(SimTime horizon);
+  /// Dispatches a single event; returns false if the calendar is empty.
+  bool step();
+
+  /// Number of events dispatched so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t events_pending() const;
+
+  /// Starts a coroutine process; the simulation owns its frame.
+  /// The process body begins executing at the current simulation time
+  /// (via an immediate event), not synchronously inside spawn().
+  void spawn(Process process);
+
+  /// Number of live (spawned, unfinished) processes.
+  [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
+
+  /// Installs (or removes, with nullptr) a tracer. Not owned.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+  /// Emits a trace record if tracing is enabled.
+  void trace(TraceKind kind, const std::string& label,
+             const std::string& detail = {}) const;
+
+  // --- internal hooks used by the process layer (see process.hpp) ---
+
+  /// Schedules resumption of a suspended coroutine at now().
+  void resume_soon(std::coroutine_handle<> h);
+  /// Registers/unregisters live process frames for cleanup.
+  void register_process(std::coroutine_handle<> h);
+  void unregister_process(std::coroutine_handle<> h);
+  /// Records an exception escaping a process body; rethrown by run()/step().
+  void set_pending_exception(std::exception_ptr ep);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  void dispatch(const Event& ev);
+  void rethrow_pending();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
+  // id -> callback; erased on dispatch or cancel. The indirection keeps
+  // cancellation O(1) without invalidating the heap.
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::unordered_set<void*> live_;
+  std::exception_ptr pending_exception_;
+  Tracer* tracer_ = nullptr;
+  bool destroying_ = false;
+};
+
+}  // namespace pimsim::des

@@ -1,0 +1,29 @@
+#include "des/trace.hpp"
+
+namespace pimsim::des {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kEventScheduled: return "event-scheduled";
+    case TraceKind::kEventDispatched: return "event-dispatched";
+    case TraceKind::kEventCancelled: return "event-cancelled";
+    case TraceKind::kProcessSpawned: return "process-spawned";
+    case TraceKind::kProcessFinished: return "process-finished";
+    case TraceKind::kResourceAcquire: return "resource-acquire";
+    case TraceKind::kResourceRelease: return "resource-release";
+    case TraceKind::kResourceEnqueued: return "resource-enqueued";
+    case TraceKind::kMailboxSend: return "mailbox-send";
+    case TraceKind::kMailboxReceive: return "mailbox-receive";
+  }
+  return "unknown";
+}
+
+void Tracer::record(TraceRecord rec) {
+  if (callback_) {
+    callback_(rec);
+  } else {
+    records_.push_back(std::move(rec));
+  }
+}
+
+}  // namespace pimsim::des

@@ -1,0 +1,60 @@
+// Execution tracing for the simulation kernel.
+//
+// SES/Workbench offered model animation and trace output; this is the
+// equivalent hook.  A Tracer receives structured records for scheduler and
+// synchronization activity.  Tracing is disabled by default and costs one
+// branch per traced action when off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pimsim::des {
+
+/// Kind of traced kernel action.
+enum class TraceKind : std::uint8_t {
+  kEventScheduled,
+  kEventDispatched,
+  kEventCancelled,
+  kProcessSpawned,
+  kProcessFinished,
+  kResourceAcquire,
+  kResourceRelease,
+  kResourceEnqueued,
+  kMailboxSend,
+  kMailboxReceive,
+};
+
+/// One trace record; `label` identifies the object, `detail` is free-form.
+struct TraceRecord {
+  SimTime time = 0.0;
+  TraceKind kind = TraceKind::kEventDispatched;
+  std::string label;
+  std::string detail;
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+/// Trace sink; collects records or forwards them to a user callback.
+class Tracer {
+ public:
+  using Callback = std::function<void(const TraceRecord&)>;
+
+  /// Records into the internal buffer (default) or forwards to `cb`.
+  explicit Tracer(Callback cb = nullptr) : callback_(std::move(cb)) {}
+
+  void record(TraceRecord rec);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  Callback callback_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace pimsim::des

@@ -1,0 +1,87 @@
+#include "parcel/action.hpp"
+
+#include "common/error.hpp"
+
+namespace pimsim::parcel {
+
+std::uint64_t MemoryStore::read(std::uint64_t vaddr) const {
+  auto it = words_.find(vaddr);
+  return it == words_.end() ? 0 : it->second;
+}
+
+void MemoryStore::write(std::uint64_t vaddr, std::uint64_t value) {
+  words_[vaddr] = value;
+}
+
+std::uint64_t MemoryStore::amo_add(std::uint64_t vaddr, std::uint64_t delta) {
+  auto& slot = words_[vaddr];
+  const std::uint64_t old = slot;
+  slot += delta;
+  return old;
+}
+
+void ActionRegistry::register_method(std::uint32_t method_id, std::string name,
+                                     MethodFn fn) {
+  require(static_cast<bool>(fn), "ActionRegistry: empty method function");
+  const auto [it, inserted] =
+      methods_.emplace(method_id, Entry{std::move(name), std::move(fn)});
+  (void)it;
+  require(inserted, "ActionRegistry: method id already registered");
+}
+
+bool ActionRegistry::has_method(std::uint32_t method_id) const {
+  return methods_.count(method_id) > 0;
+}
+
+const std::string& ActionRegistry::method_name(std::uint32_t method_id) const {
+  auto it = methods_.find(method_id);
+  require(it != methods_.end(), "ActionRegistry: unknown method id");
+  return it->second.name;
+}
+
+std::optional<std::uint64_t> ActionRegistry::invoke(
+    std::uint32_t method_id, MemoryStore& store, std::uint64_t target_vaddr,
+    std::span<const std::uint64_t> operands) const {
+  auto it = methods_.find(method_id);
+  require(it != methods_.end(), "ActionRegistry: unknown method id");
+  return it->second.fn(store, target_vaddr, operands);
+}
+
+std::optional<Parcel> execute_action(const Parcel& parcel, MemoryStore& store,
+                                     const ActionRegistry& registry) {
+  std::optional<std::uint64_t> result;
+  switch (parcel.action) {
+    case ActionKind::kRead:
+      result = store.read(parcel.target_vaddr);
+      break;
+    case ActionKind::kWrite:
+      require(!parcel.operands.empty(), "execute_action: write needs a value");
+      store.write(parcel.target_vaddr, parcel.operands[0]);
+      break;
+    case ActionKind::kAmoAdd:
+      require(!parcel.operands.empty(), "execute_action: amo-add needs a delta");
+      result = store.amo_add(parcel.target_vaddr, parcel.operands[0]);
+      break;
+    case ActionKind::kMethod:
+      result = registry.invoke(parcel.method_id, store, parcel.target_vaddr,
+                               parcel.operands);
+      break;
+    case ActionKind::kReply:
+      // Replies are consumed by the requester's continuation, not executed.
+      return std::nullopt;
+  }
+  // "After performing this action, the remote node in this example returns
+  //  a result value to the originating source node, although this is not
+  //  always necessary."
+  if (!result.has_value()) return std::nullopt;
+  Parcel reply;
+  reply.src = parcel.dst;
+  reply.dst = parcel.continuation.node;
+  reply.action = ActionKind::kReply;
+  reply.target_vaddr = parcel.target_vaddr;
+  reply.operands = {*result};
+  reply.continuation = parcel.continuation;
+  return reply;
+}
+
+}  // namespace pimsim::parcel

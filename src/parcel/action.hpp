@@ -1,0 +1,73 @@
+// Parcel action execution: the destination side of Figure 9.
+//
+// "The actions may be simple hardware supported functions or complex
+//  functions specified by code blocks."
+//
+// MemoryStore is a node's sparse 64-bit word memory; ActionRegistry maps
+// kMethod parcels onto registered code blocks.  execute_action() performs
+// a parcel's action against a store and produces the reply parcel when
+// the continuation requests one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "parcel/parcel.hpp"
+
+namespace pimsim::parcel {
+
+/// Sparse word-addressed memory of one PIM node (unbacked words read as 0).
+class MemoryStore {
+ public:
+  [[nodiscard]] std::uint64_t read(std::uint64_t vaddr) const;
+  void write(std::uint64_t vaddr, std::uint64_t value);
+  /// Atomic fetch-and-add; returns the previous value.
+  std::uint64_t amo_add(std::uint64_t vaddr, std::uint64_t delta);
+  [[nodiscard]] std::size_t footprint_words() const { return words_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> words_;
+};
+
+/// A method code block: runs against the local store with the parcel's
+/// target address and operands; may return a value for the continuation.
+using MethodFn = std::function<std::optional<std::uint64_t>(
+    MemoryStore& store, std::uint64_t target_vaddr,
+    std::span<const std::uint64_t> operands)>;
+
+/// Registry of method code blocks addressable from kMethod parcels.
+class ActionRegistry {
+ public:
+  /// Registers `fn` under `method_id`; re-registration is rejected.
+  void register_method(std::uint32_t method_id, std::string name, MethodFn fn);
+
+  [[nodiscard]] bool has_method(std::uint32_t method_id) const;
+  [[nodiscard]] const std::string& method_name(std::uint32_t method_id) const;
+
+  /// Runs the method; throws ConfigError for unknown ids.
+  std::optional<std::uint64_t> invoke(std::uint32_t method_id,
+                                      MemoryStore& store,
+                                      std::uint64_t target_vaddr,
+                                      std::span<const std::uint64_t> operands) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MethodFn fn;
+  };
+  std::unordered_map<std::uint32_t, Entry> methods_;
+};
+
+/// Executes `parcel`'s action against `store`.  Returns the reply parcel
+/// to send (kReply back to the continuation) if the action yields a value
+/// and the continuation names a node, otherwise std::nullopt.
+[[nodiscard]] std::optional<Parcel> execute_action(const Parcel& parcel,
+                                                   MemoryStore& store,
+                                                   const ActionRegistry& registry);
+
+}  // namespace pimsim::parcel

@@ -1,0 +1,75 @@
+#include "parcel/network.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace pimsim::parcel {
+
+FlatInterconnect::FlatInterconnect(Cycles round_trip)
+    : one_way_(round_trip / 2.0) {
+  require(round_trip >= 0.0, "FlatInterconnect: latency must be non-negative");
+}
+
+Cycles FlatInterconnect::one_way_latency(NodeId, NodeId) const { return one_way_; }
+
+RingInterconnect::RingInterconnect(std::size_t nodes, Cycles base, Cycles per_hop)
+    : nodes_(nodes), base_(base), per_hop_(per_hop) {
+  require(nodes > 0, "RingInterconnect: need at least one node");
+  require(base >= 0.0 && per_hop >= 0.0,
+          "RingInterconnect: latencies must be non-negative");
+}
+
+Cycles RingInterconnect::one_way_latency(NodeId src, NodeId dst) const {
+  require(src < nodes_ && dst < nodes_, "RingInterconnect: node out of range");
+  // Unidirectional ring: hops from src forward to dst.
+  const std::size_t hops = (dst + nodes_ - src) % nodes_;
+  return base_ + per_hop_ * static_cast<double>(hops);
+}
+
+Mesh2DInterconnect::Mesh2DInterconnect(std::size_t width, std::size_t height,
+                                       Cycles base, Cycles per_hop)
+    : width_(width), height_(height), base_(base), per_hop_(per_hop) {
+  require(width > 0 && height > 0, "Mesh2DInterconnect: empty grid");
+  require(base >= 0.0 && per_hop >= 0.0,
+          "Mesh2DInterconnect: latencies must be non-negative");
+}
+
+Cycles Mesh2DInterconnect::one_way_latency(NodeId src, NodeId dst) const {
+  require(src < nodes() && dst < nodes(), "Mesh2DInterconnect: node out of range");
+  const auto sx = static_cast<long>(src % width_);
+  const auto sy = static_cast<long>(src / width_);
+  const auto dx = static_cast<long>(dst % width_);
+  const auto dy = static_cast<long>(dst / width_);
+  const long manhattan = std::labs(sx - dx) + std::labs(sy - dy);
+  return base_ + per_hop_ * static_cast<double>(manhattan);
+}
+
+std::unique_ptr<Interconnect> make_interconnect(const std::string& kind,
+                                                std::size_t nodes,
+                                                Cycles round_trip) {
+  require(nodes > 0, "make_interconnect: need at least one node");
+  if (kind == "flat") {
+    return std::make_unique<FlatInterconnect>(round_trip);
+  }
+  if (kind == "ring") {
+    // Mean one-way distance over uniform random pairs ~ nodes/2 hops.
+    const double mean_hops = static_cast<double>(nodes) / 2.0;
+    const Cycles per_hop = (round_trip / 2.0) / std::max(mean_hops, 1.0);
+    return std::make_unique<RingInterconnect>(nodes, 0.0, per_hop);
+  }
+  if (kind == "mesh2d") {
+    const auto width =
+        static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(nodes))));
+    require(width * width == nodes,
+            "make_interconnect: mesh2d needs a square node count");
+    // Mean manhattan distance on a w x w grid is ~ 2w/3.
+    const double mean_hops = 2.0 * static_cast<double>(width) / 3.0;
+    const Cycles per_hop = (round_trip / 2.0) / std::max(mean_hops, 1.0);
+    return std::make_unique<Mesh2DInterconnect>(width, width, 0.0, per_hop);
+  }
+  throw ConfigError("make_interconnect: unknown kind '" + kind + "'");
+}
+
+}  // namespace pimsim::parcel

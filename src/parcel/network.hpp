@@ -1,0 +1,87 @@
+// Interconnect latency models.
+//
+// The paper's parcel study assumes a "flat (fixed delay)" system-wide
+// latency; FlatInterconnect implements that.  Ring and 2-D mesh models are
+// provided for the topology ablation (how sensitive the latency-hiding
+// conclusions are to the flat-latency assumption).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "parcel/parcel.hpp"
+
+namespace pimsim::parcel {
+
+/// Latency model between PIM nodes.
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  /// One-way delivery latency from src to dst, in HWP cycles.
+  [[nodiscard]] virtual Cycles one_way_latency(NodeId src, NodeId dst) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Round trip src -> dst -> src.
+  [[nodiscard]] Cycles round_trip_latency(NodeId src, NodeId dst) const {
+    return one_way_latency(src, dst) + one_way_latency(dst, src);
+  }
+};
+
+/// The paper's model: every one-way transfer takes the same fixed delay.
+class FlatInterconnect final : public Interconnect {
+ public:
+  /// `round_trip` is the paper's swept "system wide latency" L; each
+  /// one-way hop costs L/2.
+  explicit FlatInterconnect(Cycles round_trip);
+
+  [[nodiscard]] Cycles one_way_latency(NodeId, NodeId) const override;
+  const char* name() const override { return "flat"; }
+
+ private:
+  Cycles one_way_;
+};
+
+/// Unidirectional-distance ring: latency = base + per_hop * ring distance.
+class RingInterconnect final : public Interconnect {
+ public:
+  RingInterconnect(std::size_t nodes, Cycles base, Cycles per_hop);
+
+  [[nodiscard]] Cycles one_way_latency(NodeId src, NodeId dst) const override;
+  const char* name() const override { return "ring"; }
+
+ private:
+  std::size_t nodes_;
+  Cycles base_;
+  Cycles per_hop_;
+};
+
+/// 2-D mesh with dimension-ordered routing: base + per_hop * manhattan.
+class Mesh2DInterconnect final : public Interconnect {
+ public:
+  /// Nodes are laid out row-major on a width x height grid; node count
+  /// must equal width*height.
+  Mesh2DInterconnect(std::size_t width, std::size_t height, Cycles base,
+                     Cycles per_hop);
+
+  [[nodiscard]] Cycles one_way_latency(NodeId src, NodeId dst) const override;
+  const char* name() const override { return "mesh2d"; }
+
+  [[nodiscard]] std::size_t nodes() const { return width_ * height_; }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  Cycles base_;
+  Cycles per_hop_;
+};
+
+/// Builds an interconnect whose *mean* round trip over uniform random node
+/// pairs approximately equals `round_trip` (used so ablation topologies are
+/// comparable to the flat model at the same average latency).
+[[nodiscard]] std::unique_ptr<Interconnect> make_interconnect(
+    const std::string& kind, std::size_t nodes, Cycles round_trip);
+
+}  // namespace pimsim::parcel

@@ -1,0 +1,102 @@
+#include "parcel/parcel.hpp"
+
+#include "common/error.hpp"
+
+namespace pimsim::parcel {
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kRead: return "read";
+    case ActionKind::kWrite: return "write";
+    case ActionKind::kAmoAdd: return "amo-add";
+    case ActionKind::kMethod: return "method";
+    case ActionKind::kReply: return "reply";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50434c45;  // "PCLE"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    check(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::uint8_t u8() {
+    check(1);
+    return bytes_[pos_++];
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void check(std::size_t n) const {
+    require(pos_ + n <= bytes_.size(), "Parcel::deserialize: truncated parcel");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Parcel& parcel) {
+  std::vector<std::uint8_t> out;
+  out.reserve(parcel.wire_size());
+  put_u32(out, kMagic);
+  put_u32(out, parcel.src);
+  put_u32(out, parcel.dst);
+  out.push_back(static_cast<std::uint8_t>(parcel.action));
+  put_u64(out, parcel.target_vaddr);
+  put_u32(out, parcel.method_id);
+  put_u32(out, static_cast<std::uint32_t>(parcel.operands.size()));
+  for (std::uint64_t op : parcel.operands) put_u64(out, op);
+  put_u32(out, parcel.continuation.node);
+  put_u64(out, parcel.continuation.context);
+  return out;
+}
+
+Parcel deserialize(std::span<const std::uint8_t> bytes) {
+  Reader reader(bytes);
+  require(reader.u32() == kMagic, "Parcel::deserialize: bad magic");
+  Parcel p;
+  p.src = reader.u32();
+  p.dst = reader.u32();
+  const std::uint8_t action = reader.u8();
+  require(action <= static_cast<std::uint8_t>(ActionKind::kReply),
+          "Parcel::deserialize: unknown action kind");
+  p.action = static_cast<ActionKind>(action);
+  p.target_vaddr = reader.u64();
+  p.method_id = reader.u32();
+  const std::uint32_t n_operands = reader.u32();
+  require(n_operands <= 1024, "Parcel::deserialize: implausible operand count");
+  p.operands.reserve(n_operands);
+  for (std::uint32_t i = 0; i < n_operands; ++i) p.operands.push_back(reader.u64());
+  p.continuation.node = reader.u32();
+  p.continuation.context = reader.u64();
+  require(reader.exhausted(), "Parcel::deserialize: trailing bytes");
+  return p;
+}
+
+}  // namespace pimsim::parcel

@@ -1,0 +1,75 @@
+// The parcel (PARallel Control ELement) message format, paper Figure 8.
+//
+// A parcel is a memory-borne message: the interconnect transport layer
+// sees an outer wrapper (source/destination node, payload size); the
+// inner message names a destination datum by virtual address, an action
+// to perform on it (from a hardware-supported primitive up to a method
+// invocation on an object), optional operand values, and a continuation
+// that tells the acting node where to send results.
+//
+// serialize()/deserialize() define the wire format used by the functional
+// examples; the statistical latency-hiding models exchange Parcel values
+// in memory and never pay for encoding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pimsim::parcel {
+
+/// Node identifier within a PIM array.
+using NodeId = std::uint32_t;
+
+/// What the destination node should do with the parcel.
+enum class ActionKind : std::uint8_t {
+  kRead = 0,    ///< return the 64-bit datum at the target address
+  kWrite = 1,   ///< store operand[0] at the target address
+  kAmoAdd = 2,  ///< atomic fetch-and-add of operand[0]; returns old value
+  kMethod = 3,  ///< invoke registered method `method_id` on the target object
+  kReply = 4,   ///< continuation carrying a result back to the requester
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind);
+
+/// Continuation: where the result (if any) should go.
+struct Continuation {
+  NodeId node = 0;            ///< node to notify
+  std::uint64_t context = 0;  ///< opaque requester context (thread/parcel id)
+
+  friend bool operator==(const Continuation&, const Continuation&) = default;
+};
+
+/// A complete parcel.
+struct Parcel {
+  // --- transport wrapper -------------------------------------------------
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  // --- message -----------------------------------------------------------
+  std::uint64_t target_vaddr = 0;       ///< destination datum (virtual)
+  ActionKind action = ActionKind::kRead;
+  std::uint32_t method_id = 0;          ///< meaningful for kMethod
+  std::vector<std::uint64_t> operands;  ///< action operands / reply value
+
+  // --- continuation ------------------------------------------------------
+  Continuation continuation;
+
+  /// Size of the serialized parcel in bytes (wrapper + message):
+  /// u32 x {magic, src, dst, method_id, operand count, continuation node},
+  /// u8 action, u64 x {target vaddr, continuation context, each operand}.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 6 * 4 + 1 + 2 * 8 + 8 * operands.size();
+  }
+
+  friend bool operator==(const Parcel&, const Parcel&) = default;
+};
+
+/// Encodes a parcel into its wire format (little-endian, length-prefixed).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Parcel& parcel);
+
+/// Decodes a wire image; throws ConfigError on truncation or bad fields.
+[[nodiscard]] Parcel deserialize(std::span<const std::uint8_t> bytes);
+
+}  // namespace pimsim::parcel

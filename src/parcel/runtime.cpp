@@ -1,0 +1,103 @@
+#include "parcel/runtime.hpp"
+
+#include "common/error.hpp"
+
+namespace pimsim::parcel {
+
+std::uint64_t RequestHandle::value() const {
+  require(state_->done, "RequestHandle::value: request not completed");
+  require(state_->value.has_value(),
+          "RequestHandle::value: action returned no value");
+  return *state_->value;
+}
+
+ParcelMachine::ParcelMachine(des::Simulation& sim, std::size_t nodes,
+                             const Interconnect& net, RuntimeCosts costs)
+    : sim_(sim), net_(net), costs_(costs) {
+  require(nodes > 0, "ParcelMachine: need at least one node");
+  require(costs.dispatch >= 0.0 && costs.memory_access >= 0.0 &&
+              costs.reply_issue >= 0.0,
+          "ParcelMachine: costs must be non-negative");
+  nodes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, static_cast<std::uint32_t>(i)));
+    sim_.spawn(engine(*nodes_.back(), static_cast<NodeId>(i)));
+  }
+}
+
+RequestHandle ParcelMachine::request(NodeId src, Parcel parcel) {
+  require(src < nodes_.size(), "ParcelMachine::request: bad source node");
+  require(parcel.dst < nodes_.size(), "ParcelMachine::request: bad target node");
+  auto state = std::make_shared<RequestHandle::State>(sim_);
+  const std::uint64_t context = next_context_++;
+  parcel.src = src;
+  parcel.continuation = Continuation{src, context};
+  pending_.emplace(context, state);
+  ship(std::move(parcel));
+  return RequestHandle(std::move(state));
+}
+
+void ParcelMachine::post(NodeId src, Parcel parcel) {
+  require(src < nodes_.size(), "ParcelMachine::post: bad source node");
+  require(parcel.dst < nodes_.size(), "ParcelMachine::post: bad target node");
+  parcel.src = src;
+  // Continuation node is set but context 0 marks fire-and-forget: the
+  // engine drops any result instead of replying.
+  parcel.continuation = Continuation{src, 0};
+  ship(std::move(parcel));
+}
+
+MemoryStore& ParcelMachine::store(NodeId node) {
+  require(node < nodes_.size(), "ParcelMachine::store: bad node");
+  return nodes_[node]->store;
+}
+
+const RuntimeNodeStats& ParcelMachine::node_stats(NodeId node) const {
+  require(node < nodes_.size(), "ParcelMachine::node_stats: bad node");
+  return nodes_[node]->stats;
+}
+
+std::uint64_t ParcelMachine::total_bytes_on_wire() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->stats.bytes_sent;
+  return total;
+}
+
+void ParcelMachine::ship(Parcel parcel) {
+  auto bytes = serialize(parcel);
+  nodes_[parcel.src]->stats.bytes_sent += bytes.size();
+  auto* inbox = nodes_[parcel.dst]->inbox.get();
+  sim_.schedule_in(net_.one_way_latency(parcel.src, parcel.dst),
+                   [inbox, bytes = std::move(bytes)] { inbox->send(bytes); });
+}
+
+des::Process ParcelMachine::engine(Node& node, NodeId id) {
+  while (true) {
+    const auto bytes = co_await node.inbox->receive();
+    node.stats.bytes_received += bytes.size();
+    const Parcel parcel = deserialize(bytes);
+
+    if (parcel.action == ActionKind::kReply) {
+      auto it = pending_.find(parcel.continuation.context);
+      if (it != pending_.end()) {
+        it->second->done = true;
+        if (!parcel.operands.empty()) it->second->value = parcel.operands[0];
+        it->second->trigger.fire();
+        pending_.erase(it);
+      }
+      continue;
+    }
+
+    co_await des::delay(sim_, costs_.dispatch + costs_.memory_access);
+    ++node.stats.parcels_executed;
+    const auto reply = execute_action(parcel, node.store, registry_);
+    // Context 0 marks a posted (fire-and-forget) parcel: drop the result.
+    if (reply.has_value() && parcel.continuation.context != 0) {
+      co_await des::delay(sim_, costs_.reply_issue);
+      ++node.stats.replies_returned;
+      ship(*reply);
+    }
+  }
+}
+
+}  // namespace pimsim::parcel

@@ -1,0 +1,137 @@
+// A functional parcel machine: the "microserver" execution layer of
+// PIM Lite-style designs (paper Section 2.2), built from the statistical
+// substrate's primitives but moving *real data*.
+//
+// Every node owns a MemoryStore shard and a parcel engine; parcels are
+// serialized to their wire format on every hop (so the model's traffic
+// volumes are honest), executed at the home node against the shard with a
+// configurable memory access cost, and answered through their
+// continuation.  Client code runs inside driver processes and awaits
+// replies with RequestHandle:
+//
+//   des::Process client(ParcelMachine& m) {
+//     auto h = m.request(0, read_parcel);   // issue from node 0
+//     co_await h.wait();                    // split transaction
+//     use(h.value());
+//   }
+//
+// The machine also exposes fire-and-forget posts (writes, notifications)
+// and per-node/ per-machine traffic statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "des/mailbox.hpp"
+#include "des/process.hpp"
+#include "des/simulation.hpp"
+#include "parcel/action.hpp"
+#include "parcel/network.hpp"
+#include "parcel/parcel.hpp"
+
+namespace pimsim::parcel {
+
+/// Cost model of one node's parcel engine.
+struct RuntimeCosts {
+  Cycles dispatch = 2.0;       ///< decode/dispatch per incident parcel
+  Cycles memory_access = 22.0; ///< row access per executed action
+  Cycles reply_issue = 1.0;    ///< composing the reply parcel
+};
+
+/// Aggregate traffic/work statistics of one node.
+struct RuntimeNodeStats {
+  std::uint64_t parcels_executed = 0;  ///< actions run at this node
+  std::uint64_t replies_returned = 0;  ///< continuations answered
+  std::uint64_t bytes_received = 0;    ///< wire bytes into this node
+  std::uint64_t bytes_sent = 0;        ///< wire bytes out of this node
+};
+
+class ParcelMachine;
+
+/// Completion handle of one outstanding request (split transaction).
+/// Valid while the issuing ParcelMachine is alive.
+class RequestHandle {
+ public:
+  /// Awaitable that completes when the reply parcel arrives.
+  [[nodiscard]] auto wait() { return state_->trigger.wait(); }
+  /// True once the reply has arrived.
+  [[nodiscard]] bool done() const { return state_->done; }
+  /// The reply's value; throws if awaited before completion or the
+  /// action returned nothing.
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend class ParcelMachine;
+  struct State {
+    explicit State(des::Simulation& sim) : trigger(sim) {}
+    des::Trigger trigger;
+    bool done = false;
+    std::optional<std::uint64_t> value;
+  };
+  explicit RequestHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// An array of PIM nodes executing functional parcels.
+class ParcelMachine {
+ public:
+  /// Builds `nodes` nodes over `net` (not owned; must outlive the machine)
+  /// and spawns their parcel engines into `sim`.
+  ParcelMachine(des::Simulation& sim, std::size_t nodes,
+                const Interconnect& net, RuntimeCosts costs = {});
+
+  ParcelMachine(const ParcelMachine&) = delete;
+  ParcelMachine& operator=(const ParcelMachine&) = delete;
+
+  /// Methods must be registered before the simulation starts them.
+  ActionRegistry& registry() { return registry_; }
+
+  /// Issues `parcel` from node `src` expecting a reply; the continuation
+  /// is filled in by the machine. Returns the handle to await.
+  [[nodiscard]] RequestHandle request(NodeId src, Parcel parcel);
+
+  /// Issues a parcel with no reply expected (write/notify semantics).
+  void post(NodeId src, Parcel parcel);
+
+  /// Direct access to a node's memory shard (for setup/verification).
+  [[nodiscard]] MemoryStore& store(NodeId node);
+
+  [[nodiscard]] std::size_t nodes() const { return nodes_.size(); }
+  [[nodiscard]] const RuntimeNodeStats& node_stats(NodeId node) const;
+  [[nodiscard]] std::uint64_t total_bytes_on_wire() const;
+
+  /// Home node of a (sharded) virtual address: low bits select the node.
+  [[nodiscard]] NodeId home_of(std::uint64_t vaddr) const {
+    return static_cast<NodeId>((vaddr / 8) % nodes_.size());
+  }
+
+ private:
+  struct Node {
+    Node(des::Simulation& sim, std::uint32_t id)
+        : inbox(std::make_unique<des::Mailbox<std::vector<std::uint8_t>>>(
+              sim, "pmach" + std::to_string(id) + ".in")) {}
+    MemoryStore store;
+    std::unique_ptr<des::Mailbox<std::vector<std::uint8_t>>> inbox;
+    RuntimeNodeStats stats;
+  };
+
+  void ship(Parcel parcel);
+  des::Process engine(Node& node, NodeId id);
+
+  des::Simulation& sim_;
+  const Interconnect& net_;
+  RuntimeCosts costs_;
+  ActionRegistry registry_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  // Outstanding requests keyed by continuation context id.
+  std::uint64_t next_context_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<RequestHandle::State>>
+      pending_;
+};
+
+}  // namespace pimsim::parcel

@@ -1,0 +1,90 @@
+#include "queueing/formulas.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pimsim::queueing {
+
+namespace {
+void check_stable(double lambda, double mu, std::size_t servers) {
+  require(lambda > 0.0 && mu > 0.0, "queueing: rates must be positive");
+  require(servers > 0, "queueing: need at least one server");
+  require(lambda < mu * static_cast<double>(servers),
+          "queueing: unstable queue (lambda >= c*mu)");
+}
+}  // namespace
+
+double offered_load(double lambda, double mu, std::size_t servers) {
+  check_stable(lambda, mu, servers);
+  return lambda / (mu * static_cast<double>(servers));
+}
+
+double mm1_mean_in_system(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  const double rho = lambda / mu;
+  return rho / (1.0 - rho);
+}
+
+double mm1_mean_response(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  return 1.0 / (mu - lambda);
+}
+
+double mm1_mean_wait(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  return (lambda / mu) / (mu - lambda);
+}
+
+double mm1_mean_queue_length(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  const double rho = lambda / mu;
+  return rho * rho / (1.0 - rho);
+}
+
+double erlang_c(double lambda, double mu, std::size_t servers) {
+  check_stable(lambda, mu, servers);
+  const double a = lambda / mu;  // offered traffic in Erlangs
+  const double c = static_cast<double>(servers);
+  // Sum_{k=0}^{c-1} a^k / k!  computed incrementally to avoid overflow.
+  double term = 1.0;  // a^0 / 0!
+  double sum = 1.0;
+  for (std::size_t k = 1; k < servers; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  const double ac_over_cfact = term * a / c;  // a^c / c!
+  const double tail = ac_over_cfact * (c / (c - a));
+  return tail / (sum + tail);
+}
+
+double mmc_mean_wait(double lambda, double mu, std::size_t servers) {
+  const double pw = erlang_c(lambda, mu, servers);
+  const double c = static_cast<double>(servers);
+  return pw / (c * mu - lambda);
+}
+
+double mmc_mean_response(double lambda, double mu, std::size_t servers) {
+  return mmc_mean_wait(lambda, mu, servers) + 1.0 / mu;
+}
+
+double mg1_mean_wait(double lambda, double mean_service,
+                     double service_variance) {
+  require(lambda > 0.0 && mean_service > 0.0 && service_variance >= 0.0,
+          "mg1_mean_wait: bad parameters");
+  const double rho = lambda * mean_service;
+  require(rho < 1.0, "mg1_mean_wait: unstable queue (rho >= 1)");
+  const double second_moment = service_variance + mean_service * mean_service;
+  return lambda * second_moment / (2.0 * (1.0 - rho));
+}
+
+double mg1_mean_response(double lambda, double mean_service,
+                         double service_variance) {
+  return mg1_mean_wait(lambda, mean_service, service_variance) + mean_service;
+}
+
+double md1_mean_wait(double lambda, double service) {
+  return mg1_mean_wait(lambda, service, 0.0);
+}
+
+}  // namespace pimsim::queueing

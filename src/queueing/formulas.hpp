@@ -1,0 +1,46 @@
+// Closed-form steady-state results for Markovian queues.
+//
+// These formulas serve as ground truth for validating the discrete-event
+// kernel (tests compare simulated M/M/1 and M/M/c stations against them),
+// mirroring how one would qualify a commercial tool like SES/Workbench
+// before trusting the paper's models.
+#pragma once
+
+#include <cstddef>
+
+namespace pimsim::queueing {
+
+/// Offered load rho = lambda / (c * mu); must be < 1 for stability.
+[[nodiscard]] double offered_load(double lambda, double mu, std::size_t servers);
+
+/// M/M/1 mean number in system: rho / (1 - rho).
+[[nodiscard]] double mm1_mean_in_system(double lambda, double mu);
+/// M/M/1 mean response (sojourn) time: 1 / (mu - lambda).
+[[nodiscard]] double mm1_mean_response(double lambda, double mu);
+/// M/M/1 mean waiting time in queue: rho / (mu - lambda).
+[[nodiscard]] double mm1_mean_wait(double lambda, double mu);
+/// M/M/1 mean queue length (excluding in service): rho^2 / (1 - rho).
+[[nodiscard]] double mm1_mean_queue_length(double lambda, double mu);
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue.
+[[nodiscard]] double erlang_c(double lambda, double mu, std::size_t servers);
+/// M/M/c mean waiting time in queue.
+[[nodiscard]] double mmc_mean_wait(double lambda, double mu, std::size_t servers);
+/// M/M/c mean response time.
+[[nodiscard]] double mmc_mean_response(double lambda, double mu,
+                                       std::size_t servers);
+
+/// M/G/1 mean waiting time (Pollaczek-Khinchine):
+///   Wq = lambda * E[S^2] / (2 * (1 - rho)),
+/// with E[S^2] = variance + mean^2.
+[[nodiscard]] double mg1_mean_wait(double lambda, double mean_service,
+                                   double service_variance);
+
+/// M/G/1 mean response time: Wq + E[S].
+[[nodiscard]] double mg1_mean_response(double lambda, double mean_service,
+                                       double service_variance);
+
+/// M/D/1 (deterministic service) mean waiting time: half the M/M/1 wait.
+[[nodiscard]] double md1_mean_wait(double lambda, double service);
+
+}  // namespace pimsim::queueing

@@ -1,0 +1,48 @@
+#include "queueing/mva.hpp"
+
+#include "common/error.hpp"
+
+namespace pimsim::queueing {
+
+MvaResult mva(const std::vector<Station>& stations, std::size_t customers) {
+  require(!stations.empty(), "mva: need at least one station");
+  require(customers >= 1, "mva: need at least one customer");
+  for (const auto& s : stations) {
+    require(s.service >= 0.0, "mva: service times must be non-negative");
+    require(s.visits >= 0.0, "mva: visit ratios must be non-negative");
+  }
+
+  const std::size_t m = stations.size();
+  std::vector<double> queue(m, 0.0);  // Q_i(n-1)
+  MvaResult out;
+  out.residence.assign(m, 0.0);
+
+  for (std::size_t n = 1; n <= customers; ++n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& st = stations[i];
+      const double r = st.kind == Station::Kind::kQueueing
+                           ? st.service * (1.0 + queue[i])
+                           : st.service;
+      out.residence[i] = st.visits * r;
+      total += out.residence[i];
+    }
+    ensure(total > 0.0, "mva: zero total residence time");
+    const double x = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < m; ++i) {
+      queue[i] = x * out.residence[i];
+    }
+    out.throughput = x;
+    out.cycle_time = total;
+  }
+
+  out.queue_length = queue;
+  out.utilization.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.utilization[i] =
+        out.throughput * stations[i].visits * stations[i].service;
+  }
+  return out;
+}
+
+}  // namespace pimsim::queueing

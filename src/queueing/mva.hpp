@@ -1,0 +1,43 @@
+// Exact Mean Value Analysis (MVA) for single-class closed queueing
+// networks: N customers circulating through FIFO queueing stations and
+// pure-delay (infinite-server) stations.
+//
+// This is the classical recursion (Reiser & Lavenberg):
+//   R_i(n) = S_i * (1 + Q_i(n-1))   queueing station
+//   R_i(n) = S_i                    delay station
+//   X(n)   = n / sum_i V_i R_i(n)
+//   Q_i(n) = X(n) * V_i * R_i(n)
+//
+// pimsim uses it to model a parcel node *exactly at the saturation knee*,
+// where the linear/saturated two-regime model of parcel_model.hpp is
+// optimistic: the node's P parcel contexts are the customers, the
+// processor is a queueing station, and the network round trip is a delay
+// station.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pimsim::queueing {
+
+/// One station of a closed network.
+struct Station {
+  enum class Kind { kQueueing, kDelay } kind = Kind::kQueueing;
+  double service = 1.0;  ///< mean service time per visit, S_i
+  double visits = 1.0;   ///< visit ratio per circulation, V_i
+};
+
+/// Steady-state solution for a population of `customers`.
+struct MvaResult {
+  double throughput = 0.0;               ///< circulations per time unit, X
+  double cycle_time = 0.0;               ///< mean time per circulation
+  std::vector<double> residence;         ///< V_i * R_i per station
+  std::vector<double> queue_length;      ///< Q_i per station
+  std::vector<double> utilization;       ///< X * V_i * S_i (queueing only)
+};
+
+/// Exact MVA; throws ConfigError on empty/invalid inputs.
+[[nodiscard]] MvaResult mva(const std::vector<Station>& stations,
+                            std::size_t customers);
+
+}  // namespace pimsim::queueing

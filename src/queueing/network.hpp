@@ -1,0 +1,37 @@
+// Open-network harness: a Poisson source feeding a service center.
+//
+// Used by the validation suite to qualify the DES kernel against the
+// M/M/1 and M/M/c closed forms in formulas.hpp, and available to clients
+// as a building block for quick capacity studies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace pimsim::queueing {
+
+/// Configuration of one open M/M/c experiment.
+struct OpenNetworkSpec {
+  double lambda = 0.5;        ///< arrival rate (jobs per cycle)
+  double mu = 1.0;            ///< per-server service rate (jobs per cycle)
+  std::size_t servers = 1;    ///< c
+  std::uint64_t jobs = 20000; ///< number of arrivals to generate
+  std::uint64_t warmup_jobs = 2000;  ///< departures ignored for statistics
+  std::uint64_t seed = 1;
+};
+
+/// Steady-state estimates measured from one run.
+struct OpenNetworkResult {
+  double mean_response = 0.0;      ///< sojourn time per job
+  double mean_wait = 0.0;          ///< queueing delay per job
+  double utilization = 0.0;        ///< busy-server fraction
+  double mean_queue_length = 0.0;  ///< time-average queue length
+  std::uint64_t completed = 0;     ///< jobs measured (post-warmup)
+};
+
+/// Runs the open network to completion and reports steady-state estimates.
+[[nodiscard]] OpenNetworkResult run_open_network(const OpenNetworkSpec& spec);
+
+}  // namespace pimsim::queueing

@@ -1,0 +1,92 @@
+// Transaction service stations in the SES/Workbench style.
+//
+// A ServiceCenter is a c-server FCFS station: submitted jobs queue for a
+// server, hold it for a sampled service time, and depart.  A DelayCenter
+// is an infinite-server ("pure delay") station.  Both collect the standard
+// steady-state observables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "des/process.hpp"
+#include "des/resource.hpp"
+#include "des/simulation.hpp"
+
+namespace pimsim::queueing {
+
+/// A unit of work flowing through the network.
+struct Job {
+  std::uint64_t id = 0;
+  SimTime created_at = 0.0;
+};
+
+/// Samples a service demand in cycles.
+using ServiceTimeFn = std::function<Cycles()>;
+/// Invoked when a job departs a station.
+using DepartureFn = std::function<void(const Job&, SimTime departed_at)>;
+
+/// FCFS station with `servers` identical servers.
+class ServiceCenter {
+ public:
+  ServiceCenter(des::Simulation& sim, std::size_t servers,
+                ServiceTimeFn service_time, std::string name = "center");
+
+  /// Enqueues a job; it departs after queueing + service.
+  void submit(Job job);
+
+  /// Departure hook (e.g. to chain stations or record response times).
+  void set_on_departure(DepartureFn fn) { on_departure_ = std::move(fn); }
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] double utilization() const { return servers_.utilization(); }
+  [[nodiscard]] double mean_queue_length() const {
+    return servers_.mean_queue_length();
+  }
+  /// Waiting time in queue (excludes service).
+  [[nodiscard]] const RunningStats& wait_stats() const {
+    return servers_.wait_stats();
+  }
+  /// Sojourn time (queue + service) per job.
+  [[nodiscard]] const RunningStats& response_stats() const { return response_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  des::Process serve(Job job);
+
+  des::Simulation& sim_;
+  des::Resource servers_;
+  ServiceTimeFn service_time_;
+  DepartureFn on_departure_;
+  RunningStats response_;
+  std::uint64_t completed_ = 0;
+  std::string name_;
+};
+
+/// Infinite-server delay station: every job is served immediately.
+class DelayCenter {
+ public:
+  DelayCenter(des::Simulation& sim, ServiceTimeFn service_time,
+              std::string name = "delay");
+
+  void submit(Job job);
+  void set_on_departure(DepartureFn fn) { on_departure_ = std::move(fn); }
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] const RunningStats& response_stats() const { return response_; }
+
+ private:
+  des::Process serve(Job job);
+
+  des::Simulation& sim_;
+  ServiceTimeFn service_time_;
+  DepartureFn on_departure_;
+  RunningStats response_;
+  std::uint64_t completed_ = 0;
+  std::string name_;
+};
+
+}  // namespace pimsim::queueing

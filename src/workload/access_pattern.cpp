@@ -1,0 +1,104 @@
+#include "workload/access_pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pimsim::wl {
+
+StreamingPattern::StreamingPattern(std::uint64_t footprint_bytes,
+                                   std::uint64_t stride_bytes)
+    : footprint_(footprint_bytes), stride_(stride_bytes) {
+  require(footprint_bytes > 0 && stride_bytes > 0,
+          "StreamingPattern: footprint and stride must be positive");
+  require(stride_bytes <= footprint_bytes,
+          "StreamingPattern: stride exceeds footprint");
+}
+
+std::uint64_t StreamingPattern::next() {
+  const std::uint64_t addr = pos_;
+  pos_ += stride_;
+  if (pos_ >= footprint_) pos_ = 0;
+  return addr;
+}
+
+RandomPattern::RandomPattern(std::uint64_t footprint_bytes,
+                             std::uint64_t element_bytes, Rng rng)
+    : elements_(footprint_bytes / element_bytes), element_bytes_(element_bytes),
+      rng_(rng) {
+  require(element_bytes > 0, "RandomPattern: element size must be positive");
+  require(elements_ > 0, "RandomPattern: footprint smaller than one element");
+}
+
+std::uint64_t RandomPattern::next() {
+  return rng_.uniform_int(0, elements_ - 1) * element_bytes_;
+}
+
+PointerChasePattern::PointerChasePattern(std::uint64_t elements,
+                                         std::uint64_t element_bytes, Rng rng)
+    : next_index_(elements), element_bytes_(element_bytes) {
+  require(elements > 1, "PointerChasePattern: need at least two elements");
+  require(elements <= 0xffffffffULL, "PointerChasePattern: too many elements");
+  require(element_bytes > 0, "PointerChasePattern: element size must be positive");
+  // Sattolo's algorithm: a single random cycle through all elements, so the
+  // chase revisits an element only after touching every other one (no reuse
+  // within any cache-sized window for large footprints).
+  std::iota(next_index_.begin(), next_index_.end(), 0u);
+  for (std::uint64_t i = elements - 1; i > 0; --i) {
+    const std::uint64_t j = rng.uniform_int(0, i - 1);
+    std::swap(next_index_[i], next_index_[j]);
+  }
+}
+
+std::uint64_t PointerChasePattern::next() {
+  const std::uint64_t addr = current_ * element_bytes_;
+  current_ = next_index_[current_];
+  return addr;
+}
+
+HotColdPattern::HotColdPattern(std::uint64_t hot_bytes, std::uint64_t cold_bytes,
+                               std::uint64_t element_bytes, double p_hot, Rng rng)
+    : hot_elements_(hot_bytes / element_bytes),
+      cold_elements_(cold_bytes / element_bytes),
+      element_bytes_(element_bytes), p_hot_(p_hot), rng_(rng) {
+  require(element_bytes > 0, "HotColdPattern: element size must be positive");
+  require(hot_elements_ > 0 && cold_elements_ > 0,
+          "HotColdPattern: hot and cold sets must hold at least one element");
+  require(p_hot >= 0.0 && p_hot <= 1.0, "HotColdPattern: p_hot must be in [0,1]");
+}
+
+std::uint64_t HotColdPattern::next() {
+  if (rng_.bernoulli(p_hot_)) {
+    return rng_.uniform_int(0, hot_elements_ - 1) * element_bytes_;
+  }
+  // Cold set lives above the hot set in the address space.
+  return (hot_elements_ + rng_.uniform_int(0, cold_elements_ - 1)) *
+         element_bytes_;
+}
+
+ZipfianPattern::ZipfianPattern(std::uint64_t elements,
+                               std::uint64_t element_bytes, double s, Rng rng)
+    : cdf_(elements), element_bytes_(element_bytes), rng_(rng) {
+  require(elements > 0, "ZipfianPattern: need at least one element");
+  require(elements <= (1u << 24),
+          "ZipfianPattern: CDF table capped at 2^24 elements");
+  require(element_bytes > 0, "ZipfianPattern: element size must be positive");
+  require(s >= 0.0, "ZipfianPattern: exponent must be non-negative");
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < elements; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::uint64_t ZipfianPattern::next() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+  return rank * element_bytes_;
+}
+
+}  // namespace pimsim::wl

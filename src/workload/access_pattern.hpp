@@ -1,0 +1,112 @@
+// Synthetic memory access patterns.
+//
+// The paper characterizes workloads only by temporal locality ("when data
+// accesses exhibit no reuse, the operation is assumed to be performed by
+// the PIM devices").  These generators make that abstraction concrete:
+// they produce address streams whose temporal locality spans the paper's
+// two regimes, and the test suite runs them through mem::SetAssocCache to
+// demonstrate that the Table 1 cache-miss parameter (Pmiss = 0.1) matches
+// locality-rich streams while PIM-destined streams miss almost always.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pimsim::wl {
+
+/// An unbounded generator of byte addresses.
+class AccessPattern {
+ public:
+  virtual ~AccessPattern() = default;
+  /// Next address in the stream.
+  [[nodiscard]] virtual std::uint64_t next() = 0;
+  /// Human-readable name for tables/reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Sequential sweep over a footprint with a fixed element stride.
+/// High spatial locality; temporal locality appears when the footprint
+/// fits in cache and the sweep wraps around.
+class StreamingPattern final : public AccessPattern {
+ public:
+  StreamingPattern(std::uint64_t footprint_bytes, std::uint64_t stride_bytes);
+  std::uint64_t next() override;
+  const char* name() const override { return "streaming"; }
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t stride_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Uniform random accesses over a footprint: no reuse when the footprint
+/// is much larger than the cache — the paper's zero-temporal-locality case.
+class RandomPattern final : public AccessPattern {
+ public:
+  RandomPattern(std::uint64_t footprint_bytes, std::uint64_t element_bytes,
+                Rng rng);
+  std::uint64_t next() override;
+  const char* name() const override { return "uniform-random"; }
+
+ private:
+  std::uint64_t elements_;
+  std::uint64_t element_bytes_;
+  Rng rng_;
+};
+
+/// Pointer chase through a random permutation: serial dependence and no
+/// spatial locality — the classic irregular/data-intensive access pattern
+/// motivating PIM (cf. the DIVA irregular-application suite).
+class PointerChasePattern final : public AccessPattern {
+ public:
+  PointerChasePattern(std::uint64_t elements, std::uint64_t element_bytes,
+                      Rng rng);
+  std::uint64_t next() override;
+  const char* name() const override { return "pointer-chase"; }
+
+ private:
+  std::vector<std::uint32_t> next_index_;
+  std::uint64_t element_bytes_;
+  std::uint64_t current_ = 0;
+};
+
+/// Hot/cold mixture: fraction `p_hot` of accesses go to a small hot set.
+/// Dialing p_hot sweeps temporal locality continuously between the two
+/// regimes, which is how tests map locality onto achieved hit rate.
+class HotColdPattern final : public AccessPattern {
+ public:
+  HotColdPattern(std::uint64_t hot_bytes, std::uint64_t cold_bytes,
+                 std::uint64_t element_bytes, double p_hot, Rng rng);
+  std::uint64_t next() override;
+  const char* name() const override { return "hot-cold"; }
+
+ private:
+  std::uint64_t hot_elements_;
+  std::uint64_t cold_elements_;
+  std::uint64_t element_bytes_;
+  double p_hot_;
+  Rng rng_;
+};
+
+/// Zipf-distributed accesses over `elements` ranked items: item k is
+/// touched with probability proportional to 1/k^s.  s = 0 degenerates to
+/// uniform (no reuse for large footprints); growing s concentrates the
+/// mass on a shrinking hot set, sweeping temporal locality continuously —
+/// a standard stand-in for real skewed workloads.
+class ZipfianPattern final : public AccessPattern {
+ public:
+  ZipfianPattern(std::uint64_t elements, std::uint64_t element_bytes, double s,
+                 Rng rng);
+  std::uint64_t next() override;
+  const char* name() const override { return "zipfian"; }
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative probabilities over ranks
+  std::uint64_t element_bytes_;
+  Rng rng_;
+};
+
+}  // namespace pimsim::wl

@@ -1,0 +1,45 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pimsim::wl {
+
+void WorkloadSpec::validate() const {
+  require(total_ops > 0, "WorkloadSpec: total_ops must be positive");
+  require(lwp_fraction >= 0.0 && lwp_fraction <= 1.0,
+          "WorkloadSpec: lwp_fraction must be in [0,1]");
+  require(ls_mix >= 0.0 && ls_mix <= 1.0,
+          "WorkloadSpec: ls_mix must be in [0,1]");
+}
+
+std::uint64_t WorkloadSpec::lwp_ops() const {
+  validate();
+  return static_cast<std::uint64_t>(
+      std::llround(lwp_fraction * static_cast<double>(total_ops)));
+}
+
+std::uint64_t WorkloadSpec::hwp_ops() const { return total_ops - lwp_ops(); }
+
+std::vector<std::uint64_t> split_evenly(std::uint64_t ops, std::size_t parts) {
+  require(parts > 0, "split_evenly: parts must be positive");
+  std::vector<std::uint64_t> out(parts, ops / parts);
+  const std::uint64_t remainder = ops % parts;
+  for (std::uint64_t i = 0; i < remainder; ++i) ++out[i];
+  return out;
+}
+
+std::vector<Phase> make_phases(const WorkloadSpec& spec, std::size_t phases) {
+  spec.validate();
+  require(phases > 0, "make_phases: need at least one phase");
+  const auto hwp_parts = split_evenly(spec.hwp_ops(), phases);
+  const auto lwp_parts = split_evenly(spec.lwp_ops(), phases);
+  std::vector<Phase> out(phases);
+  for (std::size_t i = 0; i < phases; ++i) {
+    out[i] = Phase{hwp_parts[i], lwp_parts[i]};
+  }
+  return out;
+}
+
+}  // namespace pimsim::wl

@@ -1,0 +1,47 @@
+// The paper's statistical workload (Section 3.1).
+//
+// Total work W is split by temporal locality: a fraction %WH runs as
+// heavyweight threads on the HWP (good cache behaviour), a fraction %WL
+// runs as lightweight threads on the LWP array (no reuse).  The LWP part
+// is "partitionable into a number of concurrent threads that are
+// concurrent and uniform in length, one per LWP", and the two parts
+// alternate (Figure 4): at any one time either the HWP or the LWP array
+// executes, never both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pimsim::wl {
+
+/// Statistical description of one experiment's work.
+struct WorkloadSpec {
+  std::uint64_t total_ops = 100'000'000;  ///< W (Table 1)
+  double lwp_fraction = 0.0;              ///< %WL in [0,1]
+  double ls_mix = 0.30;                   ///< load/store fraction of ops
+
+  void validate() const;
+
+  /// Operations assigned to the HWP (high temporal locality part).
+  [[nodiscard]] std::uint64_t hwp_ops() const;
+  /// Operations assigned to the LWP array (low temporal locality part).
+  [[nodiscard]] std::uint64_t lwp_ops() const;
+};
+
+/// One alternating execution segment (Figure 4): an HWP burst followed by
+/// a fork/join burst across all LWPs.
+struct Phase {
+  std::uint64_t hwp_ops = 0;
+  std::uint64_t lwp_ops_total = 0;  ///< split uniformly across LWP threads
+};
+
+/// Splits `ops` as evenly as possible into `parts` (differences <= 1).
+[[nodiscard]] std::vector<std::uint64_t> split_evenly(std::uint64_t ops,
+                                                      std::size_t parts);
+
+/// Builds the Figure 4 phase plan: `phases` alternating segments whose
+/// totals equal the spec exactly (remainders spread over early phases).
+[[nodiscard]] std::vector<Phase> make_phases(const WorkloadSpec& spec,
+                                             std::size_t phases);
+
+}  // namespace pimsim::wl

@@ -1,0 +1,256 @@
+// Tests of the closed-form models: the paper's equations, their algebraic
+// properties, and their agreement with the simulations.
+#include <gtest/gtest.h>
+
+#include "analytic/accuracy.hpp"
+#include "analytic/hwp_lwp.hpp"
+#include "analytic/parcel_model.hpp"
+#include "common/error.hpp"
+
+namespace pimsim::analytic {
+namespace {
+
+using arch::SystemParams;
+
+TEST(HwpLwpModel, PaperEquationAtTableOneValues) {
+  const SystemParams p = SystemParams::table1();
+  // Time_relative = 1 - %WL * (1 - NB/N) with NB = 3.125.
+  EXPECT_DOUBLE_EQ(time_relative(p, 10.0, 0.5), 1.0 - 0.5 * (1.0 - 0.3125));
+  EXPECT_DOUBLE_EQ(time_relative(p, 3.125, 0.7), 1.0);
+}
+
+TEST(HwpLwpModel, ZeroLwpFractionIsAlwaysOne) {
+  const SystemParams p = SystemParams::table1();
+  for (double n : {1.0, 2.0, 64.0, 1e6}) {
+    EXPECT_DOUBLE_EQ(time_relative(p, n, 0.0), 1.0);
+  }
+}
+
+// --- The paper's central finding: the coincidence point at N = NB is
+// independent of %WL, and NB is orthogonal to N and %WL. -----------------
+
+struct CrossoverCase {
+  double tl_cycle, t_mh, t_ch, t_ml, p_miss, ls_mix;
+};
+
+class CrossoverProperty : public ::testing::TestWithParam<CrossoverCase> {};
+
+TEST_P(CrossoverProperty, CoincidencePointIndependentOfWorkloadSplit) {
+  const CrossoverCase c = GetParam();
+  SystemParams p;
+  p.tl_cycle = c.tl_cycle;
+  p.t_mh = c.t_mh;
+  p.t_ch = c.t_ch;
+  p.t_ml = c.t_ml;
+  p.p_miss = c.p_miss;
+  p.ls_mix = c.ls_mix;
+  const double nb = crossover_nodes(p);
+  if (nb < 1.0) {
+    // NB < 1: a single LWP already beats the HWP on low-locality work,
+    // so PIM helps at every physical node count and workload split.
+    for (double pct : {0.1, 0.5, 1.0}) {
+      EXPECT_LT(time_relative(p, 1.0, pct), 1.0);
+    }
+    return;
+  }
+  for (double pct : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_NEAR(time_relative(p, nb, pct), 1.0, 1e-12)
+        << "%WL=" << pct << " NB=" << nb;
+  }
+}
+
+TEST_P(CrossoverProperty, AboveNbAlwaysHelpsBelowAlwaysHurts) {
+  const CrossoverCase c = GetParam();
+  SystemParams p;
+  p.tl_cycle = c.tl_cycle;
+  p.t_mh = c.t_mh;
+  p.t_ch = c.t_ch;
+  p.t_ml = c.t_ml;
+  p.p_miss = c.p_miss;
+  p.ls_mix = c.ls_mix;
+  const double nb = crossover_nodes(p);
+  for (double pct : {0.2, 0.6, 1.0}) {
+    EXPECT_LT(time_relative(p, nb * 2.0, pct), 1.0);
+    if (nb / 2.0 >= 1.0) {
+      EXPECT_GT(time_relative(p, nb / 2.0, pct), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterFamilies, CrossoverProperty,
+    ::testing::Values(CrossoverCase{5, 90, 2, 30, 0.10, 0.30},   // Table 1
+                      CrossoverCase{5, 90, 2, 30, 0.05, 0.30},   // better cache
+                      CrossoverCase{5, 90, 2, 30, 0.50, 0.30},   // awful cache
+                      CrossoverCase{2, 120, 3, 20, 0.10, 0.40},  // fast LWP
+                      CrossoverCase{10, 60, 1, 50, 0.20, 0.10},  // slow LWP
+                      CrossoverCase{5, 200, 2, 30, 0.10, 0.60}));
+
+TEST(HwpLwpModel, GainIsReciprocalOfTimeRelative) {
+  const SystemParams p = SystemParams::table1();
+  for (double n : {2.0, 8.0, 64.0}) {
+    for (double pct : {0.2, 0.8}) {
+      EXPECT_NEAR(gain(p, n, pct) * time_relative(p, n, pct), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(HwpLwpModel, PaperHeadlineNumbers) {
+  const SystemParams p = SystemParams::table1();
+  // "even for a small amount of LWP work including PIMs in the system may
+  //  double the performance": 30% LWP work on plenty of nodes gives ~1.4,
+  //  50% gives 2x asymptotically.
+  EXPECT_NEAR(max_gain(0.5), 2.0, 1e-12);
+  // "a factor of 100X gain is observed" in the extreme: 100% LWP work.
+  EXPECT_NEAR(gain(p, 256.0, 1.0), 256.0 / 3.125, 1e-9);
+  EXPECT_GT(gain(p, 320.0, 1.0), 100.0);
+}
+
+TEST(HwpLwpModel, AbsoluteTimesMatchFigureSixScale) {
+  const SystemParams p = SystemParams::table1();
+  // Control (0% LWT): 1e8 ops * 4 cycles * 1ns = 4e8 ns, flat in N.
+  EXPECT_DOUBLE_EQ(absolute_time_ns(p, 100'000'000, 1.0, 0.0), 4.0e8);
+  EXPECT_DOUBLE_EQ(absolute_time_ns(p, 100'000'000, 64.0, 0.0), 4.0e8);
+  // 100% LWT on one node: 1e8 * 12.5 = 1.25e9 ns (the figure's top curve).
+  EXPECT_DOUBLE_EQ(absolute_time_ns(p, 100'000'000, 1.0, 1.0), 1.25e9);
+  // and on 64 nodes: ~1.95e7 ns (the figure's fast corner).
+  EXPECT_NEAR(absolute_time_ns(p, 100'000'000, 64.0, 1.0), 1.953e7, 1e5);
+}
+
+TEST(HwpLwpModel, MinNodesForGain) {
+  const SystemParams p = SystemParams::table1();
+  // Gain 2 at 80% LWP work: 1 - 0.8(1 - 3.125/N) <= 0.5 -> N >= 8.333 -> 9.
+  EXPECT_EQ(min_nodes_for_gain(p, 0.8, 2.0), 9u);
+  // Verify it is exactly the threshold.
+  EXPECT_GE(gain(p, 9.0, 0.8), 2.0);
+  EXPECT_LT(gain(p, 8.0, 0.8), 2.0);
+  // Unattainable target: gain 10 needs %WL > 0.9.
+  EXPECT_EQ(min_nodes_for_gain(p, 0.5, 10.0), 0u);
+  // Trivial target.
+  EXPECT_EQ(min_nodes_for_gain(p, 0.5, 1.0), 1u);
+}
+
+TEST(HwpLwpModel, InputValidation) {
+  const SystemParams p = SystemParams::table1();
+  EXPECT_THROW(time_relative(p, 0.5, 0.5), ConfigError);
+  EXPECT_THROW(time_relative(p, 4.0, 1.5), ConfigError);
+  EXPECT_THROW(max_gain(-0.1), ConfigError);
+  EXPECT_THROW(min_nodes_for_gain(p, 0.5, 0.0), ConfigError);
+}
+
+// --- Simulation vs analytic accuracy (Section 3.1.2) --------------------
+
+TEST(Accuracy, SimulationTracksModelAcrossGrid) {
+  arch::HostConfig base;
+  base.workload.total_ops = 1'000'000;
+  base.batch_ops = 10'000;
+  base.seed = 11;
+  const auto entries =
+      compare_grid(base, {1, 2, 4, 8, 16, 32, 64}, {0.1, 0.3, 0.5, 0.9});
+  ASSERT_EQ(entries.size(), 28u);
+  const AccuracyBand band = summarize(entries);
+  // Our reconstruction is much tighter than the paper's 5-18% band
+  // because the statistical batching is exact; assert a conservative cap.
+  EXPECT_LT(band.max_rel_error, 0.05);
+  for (const auto& e : entries) {
+    EXPECT_GT(e.simulated_cycles, 0.0);
+    EXPECT_GT(e.model_cycles, 0.0);
+  }
+}
+
+TEST(Accuracy, RejectsEmptyAxes) {
+  arch::HostConfig base;
+  EXPECT_THROW(compare_grid(base, {}, {0.5}), ConfigError);
+  EXPECT_THROW(summarize({}), ConfigError);
+}
+
+// --- Parcel closed forms -------------------------------------------------
+
+parcel::SplitTransactionParams parcel_defaults() {
+  parcel::SplitTransactionParams p;
+  p.nodes = 8;
+  p.horizon = 40'000.0;
+  p.seed = 7;
+  return p;
+}
+
+TEST(ParcelModel, SegmentArithmetic) {
+  auto p = parcel_defaults();
+  const ParcelSegment s = derive_segment(p);
+  EXPECT_NEAR(s.mean_gap_ops, (1.0 - 0.3) / 0.3, 1e-12);
+  EXPECT_NEAR(s.work_per_segment, s.mean_gap_ops + 1.0, 1e-12);
+  EXPECT_GT(s.control_cycle_time, 0.0);
+  EXPECT_GT(s.test_cpu_time, 0.0);
+}
+
+TEST(ParcelModel, RatioReversalThresholdIsTwiceSwitchCost) {
+  // Saturated ratio < 1 exactly when L < 2 * t_switch (derivation in
+  // parcel_model.cpp): check both sides of the threshold.
+  auto p = parcel_defaults();
+  p.parallelism = 64;  // saturated
+  p.t_switch = 10.0;
+  p.round_trip_latency = 10.0;  // < 2*t_switch
+  EXPECT_LT(predicted_ratio(p), 1.0);
+  p.round_trip_latency = 40.0;  // > 2*t_switch
+  EXPECT_GT(predicted_ratio(p), 1.0);
+}
+
+TEST(ParcelModel, SaturationParallelismGrowsWithLatency) {
+  auto p = parcel_defaults();
+  p.round_trip_latency = 100.0;
+  const double p100 = saturation_parallelism(p);
+  p.round_trip_latency = 1000.0;
+  const double p1000 = saturation_parallelism(p);
+  EXPECT_GT(p1000, p100);
+  EXPECT_GT(p100, 1.0);
+}
+
+TEST(ParcelModel, IdleFractionsBracketSimulation) {
+  // The linear/saturated model is exact away from the saturation knee and
+  // optimistic (lower idle) at the knee, where context self-contention is
+  // ignored: the simulated idle must sit at or above the prediction, and
+  // close to it in the clearly-linear and clearly-saturated regimes.
+  auto p = parcel_defaults();
+  p.round_trip_latency = 500.0;
+  for (std::size_t par : {1, 4, 16}) {
+    p.parallelism = par;
+    const double model = test_idle_fraction(p);
+    const double sim =
+        parcel::run_split_transaction_system(p).mean_idle_fraction();
+    EXPECT_GT(sim, model - 0.05) << "parallelism " << par;
+    const double tolerance = (par == 4) ? 0.25 : 0.08;  // par=4 is the knee
+    EXPECT_NEAR(sim, model, tolerance) << "parallelism " << par;
+  }
+}
+
+TEST(ParcelModel, ControlIdleMatchesSimulation) {
+  auto p = parcel_defaults();
+  for (double latency : {50.0, 200.0, 1000.0}) {
+    p.round_trip_latency = latency;
+    const double model = control_idle_fraction(p);
+    const double sim =
+        parcel::run_message_passing_system(p).mean_idle_fraction();
+    EXPECT_NEAR(sim, model, 0.08) << "latency " << latency;
+  }
+}
+
+TEST(ParcelModel, PredictedRatioTracksSimulatedRatio) {
+  auto p = parcel_defaults();
+  p.p_remote = 0.2;
+  for (std::size_t par : {1, 8, 32}) {
+    for (double latency : {50.0, 500.0}) {
+      p.parallelism = par;
+      p.round_trip_latency = latency;
+      const double model = predicted_ratio(p);
+      const double sim = parcel::compare_systems(p).work_ratio;
+      // Contention-free model: tight off the knee, optimistic at it
+      // (par=8 sits at the saturation parallelism for L=500).
+      EXPECT_NEAR(sim / model, 1.0, 0.35)
+          << "par=" << par << " L=" << latency;
+      EXPECT_LT(sim, model * 1.15) << "model must not underpredict";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pimsim::analytic

@@ -1,0 +1,83 @@
+// Tests for the interconnect latency models.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "parcel/network.hpp"
+
+namespace pimsim::parcel {
+namespace {
+
+TEST(FlatInterconnect, HalfRoundTripEachWay) {
+  FlatInterconnect net(100.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 5), 50.0);
+  EXPECT_DOUBLE_EQ(net.round_trip_latency(3, 9), 100.0);
+  EXPECT_STREQ(net.name(), "flat");
+}
+
+TEST(FlatInterconnect, IsDistanceIndependent) {
+  FlatInterconnect net(64.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 1), net.one_way_latency(0, 255));
+}
+
+TEST(RingInterconnect, HopCounting) {
+  RingInterconnect net(8, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 1), 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 7), 2.0 + 7 * 3.0);
+  // Unidirectional: 7 -> 0 is one hop forward.
+  EXPECT_DOUBLE_EQ(net.one_way_latency(7, 0), 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(4, 4), 2.0);
+}
+
+TEST(RingInterconnect, RejectsOutOfRange) {
+  RingInterconnect net(4, 0.0, 1.0);
+  EXPECT_THROW(net.one_way_latency(0, 4), ConfigError);
+}
+
+TEST(Mesh2D, ManhattanRouting) {
+  Mesh2DInterconnect net(4, 4, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 3), 1.0 + 3 * 2.0);   // same row
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 15), 1.0 + 6 * 2.0);  // corner
+  EXPECT_DOUBLE_EQ(net.one_way_latency(5, 10), 1.0 + 2 * 2.0);
+}
+
+TEST(Mesh2D, SymmetricDistances) {
+  Mesh2DInterconnect net(4, 4, 0.0, 1.0);
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      EXPECT_DOUBLE_EQ(net.one_way_latency(a, b), net.one_way_latency(b, a));
+    }
+  }
+}
+
+TEST(MakeInterconnect, FlatByName) {
+  auto net = make_interconnect("flat", 16, 200.0);
+  EXPECT_STREQ(net->name(), "flat");
+  EXPECT_DOUBLE_EQ(net->round_trip_latency(0, 9), 200.0);
+}
+
+TEST(MakeInterconnect, CalibratedMeanRoundTrip) {
+  // Ring and mesh variants are calibrated so the mean round trip over
+  // uniform random pairs is close to the requested latency.
+  Rng rng(3);
+  for (const char* kind : {"ring", "mesh2d"}) {
+    auto net = make_interconnect(kind, 16, 200.0);
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      const auto a = static_cast<NodeId>(rng.uniform_int(0, 15));
+      const auto b = static_cast<NodeId>(rng.uniform_int(0, 15));
+      sum += net->round_trip_latency(a, b);
+    }
+    EXPECT_NEAR(sum / trials, 200.0, 30.0) << kind;
+  }
+}
+
+TEST(MakeInterconnect, RejectsUnknownKindAndBadGeometry) {
+  EXPECT_THROW(make_interconnect("torus", 16, 100.0), ConfigError);
+  EXPECT_THROW(make_interconnect("mesh2d", 10, 100.0), ConfigError);  // not square
+}
+
+}  // namespace
+}  // namespace pimsim::parcel

@@ -1,0 +1,187 @@
+// Tests for the parcel wire format and action execution (Figures 8-9).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "parcel/action.hpp"
+#include "parcel/parcel.hpp"
+
+namespace pimsim::parcel {
+namespace {
+
+Parcel sample_parcel() {
+  Parcel p;
+  p.src = 3;
+  p.dst = 17;
+  p.target_vaddr = 0xdeadbeef1234ULL;
+  p.action = ActionKind::kAmoAdd;
+  p.method_id = 0;
+  p.operands = {5, 6, 7};
+  p.continuation = {3, 99};
+  return p;
+}
+
+TEST(ParcelFormat, RoundTripPreservesAllFields) {
+  const Parcel p = sample_parcel();
+  const auto bytes = serialize(p);
+  EXPECT_EQ(bytes.size(), p.wire_size());
+  const Parcel q = deserialize(bytes);
+  EXPECT_EQ(p, q);
+}
+
+TEST(ParcelFormat, RoundTripRandomizedProperty) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    Parcel p;
+    p.src = static_cast<NodeId>(rng.uniform_int(0, 1023));
+    p.dst = static_cast<NodeId>(rng.uniform_int(0, 1023));
+    p.target_vaddr = rng.uniform_int(0, ~0ULL >> 1);
+    p.action = static_cast<ActionKind>(rng.uniform_int(0, 4));
+    p.method_id = static_cast<std::uint32_t>(rng.uniform_int(0, 100));
+    const auto n_ops = rng.uniform_int(0, 8);
+    for (std::uint64_t k = 0; k < n_ops; ++k) {
+      p.operands.push_back(rng.uniform_int(0, ~0ULL >> 1));
+    }
+    p.continuation = {static_cast<NodeId>(rng.uniform_int(0, 1023)),
+                      rng.uniform_int(0, 1 << 30)};
+    EXPECT_EQ(deserialize(serialize(p)), p);
+  }
+}
+
+TEST(ParcelFormat, EmptyOperandsSupported) {
+  Parcel p;
+  p.action = ActionKind::kRead;
+  EXPECT_EQ(deserialize(serialize(p)), p);
+}
+
+TEST(ParcelFormat, TruncationRejected) {
+  auto bytes = serialize(sample_parcel());
+  bytes.pop_back();
+  EXPECT_THROW(deserialize(bytes), ConfigError);
+}
+
+TEST(ParcelFormat, TrailingBytesRejected) {
+  auto bytes = serialize(sample_parcel());
+  bytes.push_back(0);
+  EXPECT_THROW(deserialize(bytes), ConfigError);
+}
+
+TEST(ParcelFormat, BadMagicRejected) {
+  auto bytes = serialize(sample_parcel());
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(deserialize(bytes), ConfigError);
+}
+
+TEST(ParcelFormat, BadActionRejected) {
+  auto bytes = serialize(sample_parcel());
+  bytes[12] = 200;  // action byte after magic+src+dst
+  EXPECT_THROW(deserialize(bytes), ConfigError);
+}
+
+TEST(ParcelFormat, ActionNames) {
+  EXPECT_STREQ(to_string(ActionKind::kRead), "read");
+  EXPECT_STREQ(to_string(ActionKind::kMethod), "method");
+  EXPECT_STREQ(to_string(ActionKind::kReply), "reply");
+}
+
+TEST(MemoryStore, ReadWriteAmo) {
+  MemoryStore store;
+  EXPECT_EQ(store.read(0x10), 0u);  // unbacked reads as zero
+  store.write(0x10, 42);
+  EXPECT_EQ(store.read(0x10), 42u);
+  EXPECT_EQ(store.amo_add(0x10, 8), 42u);  // returns old value
+  EXPECT_EQ(store.read(0x10), 50u);
+  EXPECT_EQ(store.footprint_words(), 1u);
+}
+
+TEST(ActionRegistry, RegisterAndInvoke) {
+  ActionRegistry registry;
+  registry.register_method(7, "double-it",
+                           [](MemoryStore& store, std::uint64_t addr,
+                              std::span<const std::uint64_t>) {
+                             store.write(addr, store.read(addr) * 2);
+                             return std::optional<std::uint64_t>(store.read(addr));
+                           });
+  EXPECT_TRUE(registry.has_method(7));
+  EXPECT_EQ(registry.method_name(7), "double-it");
+  MemoryStore store;
+  store.write(4, 21);
+  const auto result = registry.invoke(7, store, 4, {});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 42u);
+}
+
+TEST(ActionRegistry, RejectsDuplicatesAndUnknown) {
+  ActionRegistry registry;
+  auto noop = [](MemoryStore&, std::uint64_t, std::span<const std::uint64_t>) {
+    return std::optional<std::uint64_t>{};
+  };
+  registry.register_method(1, "a", noop);
+  EXPECT_THROW(registry.register_method(1, "b", noop), ConfigError);
+  MemoryStore store;
+  EXPECT_THROW(registry.invoke(2, store, 0, {}), ConfigError);
+  EXPECT_THROW(registry.method_name(2), ConfigError);
+}
+
+TEST(ExecuteAction, ReadProducesReplyToContinuation) {
+  MemoryStore store;
+  store.write(0x20, 7);
+  ActionRegistry registry;
+  Parcel p;
+  p.src = 1;
+  p.dst = 2;
+  p.action = ActionKind::kRead;
+  p.target_vaddr = 0x20;
+  p.continuation = {1, 55};
+  const auto reply = execute_action(p, store, registry);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->action, ActionKind::kReply);
+  EXPECT_EQ(reply->src, 2u);
+  EXPECT_EQ(reply->dst, 1u);
+  ASSERT_EQ(reply->operands.size(), 1u);
+  EXPECT_EQ(reply->operands[0], 7u);
+  EXPECT_EQ(reply->continuation.context, 55u);
+}
+
+TEST(ExecuteAction, WriteIsSilent) {
+  MemoryStore store;
+  ActionRegistry registry;
+  Parcel p;
+  p.action = ActionKind::kWrite;
+  p.target_vaddr = 0x8;
+  p.operands = {123};
+  EXPECT_FALSE(execute_action(p, store, registry).has_value());
+  EXPECT_EQ(store.read(0x8), 123u);
+}
+
+TEST(ExecuteAction, AmoAddChainsAtomically) {
+  MemoryStore store;
+  ActionRegistry registry;
+  Parcel p;
+  p.action = ActionKind::kAmoAdd;
+  p.target_vaddr = 0x0;
+  p.operands = {10};
+  p.continuation = {0, 1};
+  for (int i = 0; i < 5; ++i) (void)execute_action(p, store, registry);
+  EXPECT_EQ(store.read(0x0), 50u);
+}
+
+TEST(ExecuteAction, MissingOperandRejected) {
+  MemoryStore store;
+  ActionRegistry registry;
+  Parcel p;
+  p.action = ActionKind::kWrite;
+  EXPECT_THROW((void)execute_action(p, store, registry), ConfigError);
+}
+
+TEST(ExecuteAction, ReplyParcelsAreNotExecuted) {
+  MemoryStore store;
+  ActionRegistry registry;
+  Parcel p;
+  p.action = ActionKind::kReply;
+  p.operands = {9};
+  EXPECT_FALSE(execute_action(p, store, registry).has_value());
+}
+
+}  // namespace
+}  // namespace pimsim::parcel

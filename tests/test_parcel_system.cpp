@@ -1,0 +1,250 @@
+// Behavioural tests of the Section 4 dual-system experiment: blocking
+// message passing (control) versus parcel split transactions (test).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "analytic/parcel_model.hpp"
+#include "parcel/system.hpp"
+
+namespace pimsim::parcel {
+namespace {
+
+SplitTransactionParams small_params() {
+  SplitTransactionParams p;
+  p.nodes = 8;
+  p.horizon = 20'000.0;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Params, Validation) {
+  SplitTransactionParams p = small_params();
+  p.nodes = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = small_params();
+  p.ls_mix = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = small_params();
+  p.parallelism = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = small_params();
+  p.horizon = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ControlSystem, NoRemoteAccessesMeansNoIdle) {
+  SplitTransactionParams p = small_params();
+  p.p_remote = 0.0;
+  const SystemRunResult r = run_message_passing_system(p);
+  EXPECT_LT(r.mean_idle_fraction(), 0.01);
+  EXPECT_GT(r.total_work(), 0.0);
+  for (const auto& n : r.nodes) {
+    EXPECT_EQ(n.remote_requests, 0u);
+    EXPECT_EQ(n.accesses_served, 0u);
+  }
+}
+
+TEST(ControlSystem, IdleGrowsWithLatency) {
+  SplitTransactionParams p = small_params();
+  p.round_trip_latency = 50.0;
+  const double idle_short = run_message_passing_system(p).mean_idle_fraction();
+  p.round_trip_latency = 1000.0;
+  const double idle_long = run_message_passing_system(p).mean_idle_fraction();
+  EXPECT_GT(idle_long, idle_short);
+  EXPECT_GT(idle_long, 0.5);  // mostly waiting at L=1000, 10% remote
+}
+
+TEST(ControlSystem, WorkBalancesAcrossSymmetricNodes) {
+  const SystemRunResult r = run_message_passing_system(small_params());
+  double min_work = r.nodes[0].work(), max_work = r.nodes[0].work();
+  for (const auto& n : r.nodes) {
+    min_work = std::min(min_work, n.work());
+    max_work = std::max(max_work, n.work());
+  }
+  EXPECT_GT(min_work, 0.6 * max_work);  // statistically similar
+}
+
+TEST(ControlSystem, RequestsAreServedSomewhere) {
+  const SystemRunResult r = run_message_passing_system(small_params());
+  std::uint64_t sent = 0, served = 0;
+  for (const auto& n : r.nodes) {
+    sent += n.remote_requests;
+    served += n.accesses_served;
+  }
+  EXPECT_GT(sent, 0u);
+  // In-flight requests at the horizon make served lag sent slightly.
+  EXPECT_NEAR(static_cast<double>(served), static_cast<double>(sent),
+              0.05 * static_cast<double>(sent) + 20.0);
+}
+
+TEST(TestSystem, SufficientParallelismDrivesIdleToZero) {
+  // The paper: "for sufficient parallelism, the idle time drops virtually
+  // to zero for the test systems".
+  SplitTransactionParams p = small_params();
+  p.round_trip_latency = 500.0;
+  p.parallelism = 1;
+  const double idle_p1 =
+      run_split_transaction_system(p).mean_idle_fraction();
+  p.parallelism = 32;
+  const double idle_p32 =
+      run_split_transaction_system(p).mean_idle_fraction();
+  EXPECT_GT(idle_p1, 0.5);
+  EXPECT_LT(idle_p32, 0.05);
+}
+
+TEST(TestSystem, IdleMonotonicallyDecreasesWithParallelism) {
+  SplitTransactionParams p = small_params();
+  p.round_trip_latency = 200.0;
+  double prev = 1.0;
+  for (std::size_t par : {1, 2, 4, 8, 16}) {
+    p.parallelism = par;
+    const double idle = run_split_transaction_system(p).mean_idle_fraction();
+    EXPECT_LE(idle, prev + 0.03) << "parallelism " << par;
+    prev = idle;
+  }
+}
+
+TEST(Comparison, ParcelsWinAtHighLatencyWithParallelism) {
+  SplitTransactionParams p = small_params();
+  p.round_trip_latency = 1000.0;
+  p.parallelism = 16;
+  p.p_remote = 0.2;
+  const ComparisonPoint point = compare_systems(p);
+  EXPECT_GT(point.work_ratio, 3.0);  // large win when latency dominates
+}
+
+TEST(Comparison, OrderOfMagnitudePossible) {
+  // The paper: "sometimes exceeding an order of magnitude".
+  SplitTransactionParams p = small_params();
+  p.round_trip_latency = 2000.0;
+  p.parallelism = 32;
+  p.p_remote = 0.5;
+  const ComparisonPoint point = compare_systems(p);
+  EXPECT_GT(point.work_ratio, 10.0);
+}
+
+TEST(Comparison, ReversalAtShortLatencyAndNoParallelism) {
+  // The paper: "performance advantage is small or in fact reversed ...
+  // when there is little parallelism and short system latencies".
+  SplitTransactionParams p = small_params();
+  p.round_trip_latency = 2.0;  // below 2 * t_switch
+  p.parallelism = 1;
+  p.t_switch = 4.0;
+  const ComparisonPoint point = compare_systems(p);
+  EXPECT_LT(point.work_ratio, 1.0);
+}
+
+TEST(Comparison, RatioGrowsWithLatency) {
+  SplitTransactionParams p = small_params();
+  p.parallelism = 16;
+  p.p_remote = 0.2;
+  double prev = 0.0;
+  for (double latency : {50.0, 200.0, 1000.0}) {
+    p.round_trip_latency = latency;
+    const double ratio = compare_systems(p).work_ratio;
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+}
+
+TEST(Comparison, SingleNodeSystemRunsSelfParcels) {
+  // The paper's Figure 12 includes 1-node systems: remote accesses loop
+  // back to the node itself but still pay the network latency.
+  SplitTransactionParams p = small_params();
+  p.nodes = 1;
+  p.parallelism = 8;
+  p.round_trip_latency = 200.0;
+  const ComparisonPoint point = compare_systems(p);
+  EXPECT_GT(point.work_ratio, 1.0);
+  EXPECT_GT(point.control_idle, point.test_idle);
+}
+
+TEST(Comparison, DeterministicGivenSeed) {
+  SplitTransactionParams p = small_params();
+  const ComparisonPoint a = compare_systems(p);
+  const ComparisonPoint b = compare_systems(p);
+  EXPECT_DOUBLE_EQ(a.work_ratio, b.work_ratio);
+  p.seed = 4;
+  const ComparisonPoint c = compare_systems(p);
+  EXPECT_NE(a.work_ratio, c.work_ratio);
+}
+
+TEST(Comparison, TopologyAblationStaysQualitativelySimilar) {
+  // Replacing the flat network with ring/mesh at the same mean latency
+  // must preserve the headline conclusion (parcels win with parallelism
+  // at high latency).
+  SplitTransactionParams p = small_params();
+  p.nodes = 16;
+  p.round_trip_latency = 500.0;
+  p.parallelism = 16;
+  p.p_remote = 0.2;
+  for (const char* kind : {"flat", "ring", "mesh2d"}) {
+    p.network = kind;
+    const ComparisonPoint point = compare_systems(p);
+    EXPECT_GT(point.work_ratio, 2.0) << kind;
+  }
+}
+
+TEST(Bandwidth, ZeroGapMatchesDefaultExactly) {
+  // nic_gap = 0 must take the direct delivery path and reproduce the
+  // paper's infinite-bandwidth results bit for bit.
+  SplitTransactionParams p = small_params();
+  const ComparisonPoint base = compare_systems(p);
+  p.nic_gap = 0.0;
+  const ComparisonPoint zero = compare_systems(p);
+  EXPECT_DOUBLE_EQ(base.work_ratio, zero.work_ratio);
+  EXPECT_DOUBLE_EQ(base.test_work, zero.test_work);
+}
+
+TEST(Bandwidth, LargeGapClampsThroughputNearTheBound) {
+  SplitTransactionParams p = small_params();
+  p.horizon = 150'000.0;  // long run: the NIC backlog must dominate the
+                          // pre-congestion transient in the average
+  p.round_trip_latency = 500.0;
+  p.parallelism = 32;  // plenty of latency-hiding parallelism
+  p.p_remote = 0.2;
+  p.nic_gap = 80.0;    // brutally slow NIC
+  const auto run = run_split_transaction_system(p);
+  const double per_node_rate =
+      run.total_work() / (p.horizon * static_cast<double>(p.nodes));
+  const double bound = analytic::test_throughput_bandwidth_bound(p);
+  EXPECT_LT(per_node_rate, bound * 1.10);
+  EXPECT_GT(per_node_rate, bound * 0.7);  // actually near the ceiling
+}
+
+TEST(Bandwidth, ParallelismStopsHelpingWhenBandwidthBound) {
+  SplitTransactionParams p = small_params();
+  p.horizon = 100'000.0;
+  p.round_trip_latency = 500.0;
+  p.p_remote = 0.2;
+  p.nic_gap = 40.0;
+  p.parallelism = 16;
+  const double w16 = run_split_transaction_system(p).total_work();
+  p.parallelism = 64;
+  const double w64 = run_split_transaction_system(p).total_work();
+  EXPECT_NEAR(w64 / w16, 1.0, 0.1);  // no further scaling
+}
+
+TEST(Bandwidth, MildGapBarelyPerturbsUnsaturatedSystem) {
+  SplitTransactionParams p = small_params();
+  p.parallelism = 2;  // low message rate
+  p.nic_gap = 1.0;
+  const double with_gap = compare_systems(p).work_ratio;
+  p.nic_gap = 0.0;
+  const double without = compare_systems(p).work_ratio;
+  EXPECT_NEAR(with_gap, without, 0.1 * without);
+}
+
+TEST(Comparison, ZeroSwitchCostNeverReverses) {
+  // With free context switches the test system can only tie or win.
+  SplitTransactionParams p = small_params();
+  p.t_switch = 0.0;
+  p.t_send = 0.0;
+  for (double latency : {5.0, 50.0, 500.0}) {
+    p.round_trip_latency = latency;
+    EXPECT_GT(compare_systems(p).work_ratio, 0.95) << latency;
+  }
+}
+
+}  // namespace
+}  // namespace pimsim::parcel

@@ -1,0 +1,175 @@
+// Tests for the functional parcel machine (microserver runtime).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "des/process.hpp"
+#include "des/simulation.hpp"
+#include "parcel/network.hpp"
+#include "parcel/runtime.hpp"
+
+namespace pimsim::parcel {
+namespace {
+
+Parcel read_parcel(NodeId dst, std::uint64_t vaddr) {
+  Parcel p;
+  p.dst = dst;
+  p.action = ActionKind::kRead;
+  p.target_vaddr = vaddr;
+  return p;
+}
+
+Parcel amo_parcel(NodeId dst, std::uint64_t vaddr, std::uint64_t delta) {
+  Parcel p;
+  p.dst = dst;
+  p.action = ActionKind::kAmoAdd;
+  p.target_vaddr = vaddr;
+  p.operands = {delta};
+  return p;
+}
+
+TEST(ParcelMachine, RemoteReadRoundTrip) {
+  des::Simulation sim;
+  FlatInterconnect net(100.0);
+  ParcelMachine machine(sim, 4, net);
+  machine.store(2).write(0x40, 77);
+
+  std::uint64_t got = 0;
+  double completed_at = -1.0;
+  auto client = [](des::Simulation& s, ParcelMachine& m, std::uint64_t* out,
+                   double* when) -> des::Process {
+    auto handle = m.request(0, read_parcel(2, 0x40));
+    co_await handle.wait();
+    *out = handle.value();
+    *when = s.now();
+  };
+  sim.spawn(client(sim, machine, &got, &completed_at));
+  sim.run_until(10'000.0);
+
+  EXPECT_EQ(got, 77u);
+  // Round trip (100) + dispatch+memory (24) + reply issue (1).
+  EXPECT_NEAR(completed_at, 125.0, 1e-9);
+  EXPECT_EQ(machine.node_stats(2).parcels_executed, 1u);
+  EXPECT_EQ(machine.node_stats(2).replies_returned, 1u);
+}
+
+TEST(ParcelMachine, AtomicsLinearizeAtHomeNode) {
+  des::Simulation sim;
+  FlatInterconnect net(50.0);
+  ParcelMachine machine(sim, 4, net);
+
+  auto client = [](ParcelMachine& m, NodeId src, int count) -> des::Process {
+    for (int i = 0; i < count; ++i) {
+      auto handle = m.request(src, amo_parcel(3, 0x8, 1));
+      co_await handle.wait();
+    }
+  };
+  // Three concurrent clients on different nodes, all incrementing the
+  // same remote word.
+  sim.spawn(client(machine, 0, 10));
+  sim.spawn(client(machine, 1, 10));
+  sim.spawn(client(machine, 2, 10));
+  sim.run_until(100'000.0);
+
+  EXPECT_EQ(machine.store(3).read(0x8), 30u);
+  EXPECT_EQ(machine.node_stats(3).parcels_executed, 30u);
+}
+
+TEST(ParcelMachine, PostIsFireAndForget) {
+  des::Simulation sim;
+  FlatInterconnect net(10.0);
+  ParcelMachine machine(sim, 2, net);
+  Parcel w;
+  w.dst = 1;
+  w.action = ActionKind::kWrite;
+  w.target_vaddr = 0x10;
+  w.operands = {5};
+  machine.post(0, w);
+  // An AMO posted fire-and-forget produces a value, which must be dropped.
+  machine.post(0, amo_parcel(1, 0x10, 3));
+  sim.run_until(1'000.0);
+  EXPECT_EQ(machine.store(1).read(0x10), 8u);
+  EXPECT_EQ(machine.node_stats(1).replies_returned, 0u);
+}
+
+TEST(ParcelMachine, MethodInvocationOnObject) {
+  des::Simulation sim;
+  FlatInterconnect net(20.0);
+  ParcelMachine machine(sim, 2, net);
+  // A "list-append" style method: bump the count at the target object and
+  // return the new length.
+  machine.registry().register_method(
+      9, "append", [](MemoryStore& store, std::uint64_t vaddr,
+                      std::span<const std::uint64_t> ops) {
+        const std::uint64_t len = store.read(vaddr) + 1;
+        store.write(vaddr, len);
+        if (!ops.empty()) store.write(vaddr + 8 * len, ops[0]);
+        return std::optional<std::uint64_t>(len);
+      });
+
+  std::uint64_t final_len = 0;
+  auto client = [](ParcelMachine& m, std::uint64_t* out) -> des::Process {
+    for (int i = 0; i < 4; ++i) {
+      Parcel p;
+      p.dst = 1;
+      p.action = ActionKind::kMethod;
+      p.method_id = 9;
+      p.target_vaddr = 0x100;
+      p.operands = {static_cast<std::uint64_t>(100 + i)};
+      auto handle = m.request(0, p);
+      co_await handle.wait();
+      *out = handle.value();
+    }
+  };
+  sim.spawn(client(machine, &final_len));
+  sim.run_until(10'000.0);
+
+  EXPECT_EQ(final_len, 4u);
+  EXPECT_EQ(machine.store(1).read(0x100), 4u);
+  EXPECT_EQ(machine.store(1).read(0x100 + 8), 100u);
+  EXPECT_EQ(machine.store(1).read(0x100 + 32), 103u);
+}
+
+TEST(ParcelMachine, WireBytesAreAccounted) {
+  des::Simulation sim;
+  FlatInterconnect net(10.0);
+  ParcelMachine machine(sim, 2, net);
+  std::uint64_t got = 0;
+  double when = 0.0;
+  auto client = [](des::Simulation& s, ParcelMachine& m, std::uint64_t* out,
+                   double* when_out) -> des::Process {
+    auto handle = m.request(0, read_parcel(1, 0));
+    co_await handle.wait();
+    *out = handle.value();
+    *when_out = s.now();
+  };
+  sim.spawn(client(sim, machine, &got, &when));
+  sim.run_until(1'000.0);
+  // One request (41 bytes, no operands) + one reply (49 bytes, 1 operand).
+  EXPECT_EQ(machine.node_stats(0).bytes_sent, 41u);
+  EXPECT_EQ(machine.node_stats(1).bytes_sent, 49u);
+  EXPECT_EQ(machine.total_bytes_on_wire(), 90u);
+}
+
+TEST(ParcelMachine, HomeShardingCoversAllNodes) {
+  des::Simulation sim;
+  FlatInterconnect net(10.0);
+  ParcelMachine machine(sim, 4, net);
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t a = 0; a < 64; ++a) ++hits[machine.home_of(a * 8)];
+  for (int h : hits) EXPECT_EQ(h, 16);
+}
+
+TEST(ParcelMachine, RejectsBadNodesAndEarlyValue) {
+  des::Simulation sim;
+  FlatInterconnect net(10.0);
+  ParcelMachine machine(sim, 2, net);
+  EXPECT_THROW((void)machine.request(7, read_parcel(0, 0)), ConfigError);
+  EXPECT_THROW((void)machine.request(0, read_parcel(9, 0)), ConfigError);
+  EXPECT_THROW((void)machine.store(5), ConfigError);
+  auto handle = machine.request(0, read_parcel(1, 0));
+  EXPECT_FALSE(handle.done());
+  EXPECT_THROW((void)handle.value(), ConfigError);  // not completed yet
+}
+
+}  // namespace
+}  // namespace pimsim::parcel

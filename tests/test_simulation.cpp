@@ -1,0 +1,164 @@
+// Tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "des/simulation.hpp"
+
+namespace pimsim::des {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulation, DispatchesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulation, SameTimeEventsAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulation, ScheduleNowRunsAfterPendingSameTimeEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_now([&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Simulation, CancelPreventsDispatch) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(5.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulation sim;
+  int count = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&] { ++count; });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, RunUntilIncludesEventsExactlyAtHorizon) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StepDispatchesOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), LogicError);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), LogicError);
+}
+
+TEST(Simulation, RejectsPastHorizon) {
+  Simulation sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.run_until(5.0), LogicError);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+  EXPECT_EQ(sim.events_dispatched(), 100u);
+}
+
+TEST(Simulation, TracerRecordsSchedulingAndDispatch) {
+  Simulation sim;
+  Tracer tracer;
+  sim.set_tracer(&tracer);
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  ASSERT_GE(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].kind, TraceKind::kEventScheduled);
+  EXPECT_EQ(tracer.records()[1].kind, TraceKind::kEventDispatched);
+  EXPECT_DOUBLE_EQ(tracer.records()[1].time, 1.0);
+}
+
+TEST(Simulation, TracerCallbackMode) {
+  Simulation sim;
+  int callback_count = 0;
+  Tracer tracer([&](const TraceRecord&) { ++callback_count; });
+  sim.set_tracer(&tracer);
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_GE(callback_count, 2);
+  EXPECT_TRUE(tracer.records().empty());  // forwarded, not buffered
+}
+
+TEST(TraceKind, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kMailboxReceive); ++k) {
+    EXPECT_STRNE(to_string(static_cast<TraceKind>(k)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace pimsim::des

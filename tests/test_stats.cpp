@@ -1,0 +1,163 @@
+// Tests for the statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace pimsim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, HandComputedMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantIntegral) {
+  TimeWeighted tw(0.0);
+  tw.set(10.0, 2.0);   // 0 over [0,10)
+  tw.set(20.0, 5.0);   // 2 over [10,20)
+  // integral to 30: 0*10 + 2*10 + 5*10 = 70
+  EXPECT_DOUBLE_EQ(tw.integral(30.0), 70.0);
+  EXPECT_DOUBLE_EQ(tw.mean(30.0), 70.0 / 30.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 5.0);
+}
+
+TEST(TimeWeighted, AddDeltas) {
+  TimeWeighted tw(1.0);
+  tw.add(5.0, 2.0);   // 1 over [0,5), then 3
+  tw.add(10.0, -3.0); // 3 over [5,10), then 0
+  EXPECT_DOUBLE_EQ(tw.integral(10.0), 1.0 * 5 + 3.0 * 5);
+  EXPECT_DOUBLE_EQ(tw.current(), 0.0);
+}
+
+TEST(TimeWeighted, NonMonotonicTimeRejected) {
+  TimeWeighted tw;
+  tw.set(10.0, 1.0);
+  EXPECT_THROW(tw.set(5.0, 2.0), LogicError);
+}
+
+TEST(TimeWeighted, MeanBeforeStartIsCurrentValue) {
+  TimeWeighted tw(7.0, 100.0);
+  EXPECT_DOUBLE_EQ(tw.mean(100.0), 7.0);
+}
+
+TEST(Histogram, BinningAndOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+TEST(Confidence, HalfWidthShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 500; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(confidence_half_width(small, 0.95),
+            confidence_half_width(large, 0.95));
+}
+
+TEST(Confidence, SingleSampleHasNoInterval) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(confidence_half_width(s, 0.95), 0.0);
+}
+
+TEST(Confidence, CoversTrueMeanMostOfTheTime) {
+  // Property: ~95% of 95% CIs over N(0,1) samples contain 0.
+  Rng rng(99);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    RunningStats s;
+    for (int i = 0; i < 20; ++i) s.add(rng.normal(0.0, 1.0));
+    const double hw = confidence_half_width(s, 0.95);
+    if (std::fabs(s.mean()) <= hw) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(Confidence, LevelsAreOrdered) {
+  RunningStats s;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) s.add(rng.normal(0, 1));
+  EXPECT_LT(confidence_half_width(s, 0.90), confidence_half_width(s, 0.95));
+  EXPECT_LT(confidence_half_width(s, 0.95), confidence_half_width(s, 0.99));
+}
+
+}  // namespace
+}  // namespace pimsim

@@ -1,0 +1,79 @@
+// Tests for the table/CSV emitter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace pimsim {
+namespace {
+
+TEST(Table, StoresRowsAndReadsNumbers) {
+  Table t("demo", {"a", "b"});
+  t.add_row({std::string("x"), 1.5});
+  t.add_row({std::int64_t{7}, 2.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.number_at(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(t.number_at(1, 0), 7.0);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), ConfigError);
+}
+
+TEST(Table, RejectsTextAsNumber) {
+  Table t("demo", {"a"});
+  t.add_row({std::string("hello")});
+  EXPECT_THROW(t.number_at(0, 0), ConfigError);
+}
+
+TEST(Table, RejectsOutOfRange) {
+  Table t("demo", {"a"});
+  EXPECT_THROW(t.row(0), ConfigError);
+  EXPECT_THROW(Table("t", {}), ConfigError);
+}
+
+TEST(Table, PrintContainsHeaderAndValues) {
+  Table t("my title", {"col1", "col2"});
+  t.add_row({std::string("v"), 3.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("my title"), std::string::npos);
+  EXPECT_NE(text.find("col1"), std::string::npos);
+  EXPECT_NE(text.find("3.25"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t("t", {"name"});
+  t.add_row({std::string("a,b\"c")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\"\"c\""), std::string::npos);
+}
+
+TEST(Table, CsvHasOneLinePerRow) {
+  Table t("t", {"x"});
+  t.add_row({1.0});
+  t.add_row({2.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  std::string line;
+  std::istringstream in(os.str());
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 4);  // comment + header + 2 rows
+}
+
+TEST(FormatNumber, Regimes) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(3.5), "3.5000");
+  EXPECT_EQ(format_number(1.25e9), "1.25e+09");
+  EXPECT_EQ(format_number(1e-5), "1e-05");
+}
+
+}  // namespace
+}  // namespace pimsim

@@ -1,0 +1,152 @@
+// Tests for the statistical workload and access-pattern generators,
+// including the locality study that grounds Table 1's Pmiss = 0.1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "memory/cache.hpp"
+#include "workload/access_pattern.hpp"
+#include "workload/workload.hpp"
+
+namespace pimsim::wl {
+namespace {
+
+TEST(WorkloadSpec, SplitsByFraction) {
+  WorkloadSpec spec;
+  spec.total_ops = 1000;
+  spec.lwp_fraction = 0.3;
+  EXPECT_EQ(spec.lwp_ops(), 300u);
+  EXPECT_EQ(spec.hwp_ops(), 700u);
+  EXPECT_EQ(spec.hwp_ops() + spec.lwp_ops(), spec.total_ops);
+}
+
+TEST(WorkloadSpec, ExtremesAreExact) {
+  WorkloadSpec spec;
+  spec.total_ops = 12345;
+  spec.lwp_fraction = 0.0;
+  EXPECT_EQ(spec.lwp_ops(), 0u);
+  spec.lwp_fraction = 1.0;
+  EXPECT_EQ(spec.lwp_ops(), spec.total_ops);
+}
+
+TEST(WorkloadSpec, RejectsBadValues) {
+  WorkloadSpec spec;
+  spec.lwp_fraction = 1.5;
+  EXPECT_THROW(spec.validate(), ConfigError);
+  spec.lwp_fraction = 0.5;
+  spec.total_ops = 0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(SplitEvenly, DifferencesAtMostOne) {
+  const auto parts = split_evenly(103, 10);
+  ASSERT_EQ(parts.size(), 10u);
+  std::uint64_t total = 0;
+  for (auto p : parts) {
+    total += p;
+    EXPECT_TRUE(p == 10 || p == 11);
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(SplitEvenly, MorePartsThanOps) {
+  const auto parts = split_evenly(3, 8);
+  std::uint64_t total = 0;
+  for (auto p : parts) total += p;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(MakePhases, TotalsAreExact) {
+  WorkloadSpec spec;
+  spec.total_ops = 1'000'003;
+  spec.lwp_fraction = 0.37;
+  const auto phases = make_phases(spec, 7);
+  ASSERT_EQ(phases.size(), 7u);
+  std::uint64_t hwp = 0, lwp = 0;
+  for (const auto& ph : phases) {
+    hwp += ph.hwp_ops;
+    lwp += ph.lwp_ops_total;
+  }
+  EXPECT_EQ(hwp, spec.hwp_ops());
+  EXPECT_EQ(lwp, spec.lwp_ops());
+}
+
+TEST(StreamingPattern, SequentialAndWrapping) {
+  StreamingPattern p(256, 64);
+  EXPECT_EQ(p.next(), 0u);
+  EXPECT_EQ(p.next(), 64u);
+  EXPECT_EQ(p.next(), 128u);
+  EXPECT_EQ(p.next(), 192u);
+  EXPECT_EQ(p.next(), 0u);  // wrapped
+}
+
+TEST(RandomPattern, StaysInFootprintAndAligned) {
+  RandomPattern p(1 << 20, 8, Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = p.next();
+    EXPECT_LT(a, 1u << 20);
+    EXPECT_EQ(a % 8, 0u);
+  }
+}
+
+TEST(PointerChasePattern, VisitsEveryElementOncePerCycle) {
+  // Sattolo's construction gives a single cycle: n distinct addresses
+  // before the first repeat.
+  const std::uint64_t n = 64;
+  PointerChasePattern p(n, 8, Rng(9));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(seen.insert(p.next()).second) << "revisit before full cycle";
+  }
+  EXPECT_FALSE(seen.insert(p.next()).second);  // cycle restarts
+}
+
+TEST(HotColdPattern, RespectsHotFraction) {
+  const std::uint64_t hot_bytes = 1 << 10;
+  HotColdPattern p(hot_bytes, 1 << 20, 8, 0.9, Rng(17));
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hot += (p.next() < hot_bytes);
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.9, 0.01);
+}
+
+TEST(Patterns, RejectBadConstruction) {
+  EXPECT_THROW(StreamingPattern(0, 8), ConfigError);
+  EXPECT_THROW(StreamingPattern(8, 16), ConfigError);
+  EXPECT_THROW(RandomPattern(4, 8, Rng(1)), ConfigError);
+  EXPECT_THROW(PointerChasePattern(1, 8, Rng(1)), ConfigError);
+  EXPECT_THROW(HotColdPattern(1 << 10, 1 << 20, 8, 1.5, Rng(1)), ConfigError);
+}
+
+// --- Grounding Pmiss = 0.1 (Table 1) on structural cache behaviour ------
+
+TEST(LocalityStudy, HotColdStreamReachesTableOneMissRate) {
+  // A 90%-hot stream whose hot set fits in cache lands near Pmiss = 0.1:
+  // this is the "high temporal locality" traffic the paper keeps on the HWP.
+  mem::SetAssocCache cache(mem::CacheGeometry{1 << 16, 64, 4});
+  HotColdPattern pattern(1 << 14, 1 << 26, 8, 0.9, Rng(23));
+  for (int i = 0; i < 30000; ++i) (void)cache.access(pattern.next());
+  cache.reset_stats();
+  for (int i = 0; i < 100000; ++i) (void)cache.access(pattern.next());
+  EXPECT_NEAR(cache.miss_rate(), 0.1, 0.03);
+}
+
+TEST(LocalityStudy, PointerChaseMissesAlmostAlways) {
+  // The zero-reuse traffic the paper sends to PIM: a pointer chase over a
+  // footprint far larger than the cache misses nearly always.
+  mem::SetAssocCache cache(mem::CacheGeometry{1 << 16, 64, 4});
+  PointerChasePattern pattern(1 << 20, 64, Rng(29));
+  for (int i = 0; i < 100000; ++i) (void)cache.access(pattern.next());
+  EXPECT_GT(cache.miss_rate(), 0.9);
+}
+
+TEST(LocalityStudy, SmallStreamingFootprintHitsAlmostAlways) {
+  mem::SetAssocCache cache(mem::CacheGeometry{1 << 16, 64, 4});
+  StreamingPattern pattern(1 << 12, 8);
+  for (int i = 0; i < 50000; ++i) (void)cache.access(pattern.next());
+  EXPECT_LT(cache.miss_rate(), 0.02);
+}
+
+}  // namespace
+}  // namespace pimsim::wl
