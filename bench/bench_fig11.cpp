@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       pars.push_back(static_cast<std::size_t>(p));
     }
     fig.parallelism = pars;
+    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
     return core::make_fig11(fig);
   });
 }

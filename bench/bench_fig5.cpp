@@ -3,7 +3,7 @@
 // fraction, for node counts 1..256.
 //
 // Usage: bench_fig5 [csv=1] [maxnodes=256] [ops=100000000] [reps=3]
-//                   [batch=1000000] [seed=1]
+//                   [batch=1000000] [seed=1] [threads=0]
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
     fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
     fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
+    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
     return core::make_fig5(fig);
   });
 }

@@ -3,7 +3,7 @@
 // The paper's axis tops out at 1.6e9 ns; the 100% LWT single-node point
 // lands at 1.25e9 ns.
 //
-// Usage: bench_fig6 [csv=1] [maxnodes=64] [ops=100000000] [reps=3]
+// Usage: bench_fig6 [csv=1] [maxnodes=64] [ops=100000000] [reps=3] [threads=0]
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
     fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
     fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
+    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
     return core::make_fig6(fig);
   });
 }

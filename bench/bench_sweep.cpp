@@ -1,0 +1,89 @@
+// Scaling benchmark of the SweepRunner design-space engine on a
+// Figure-12-sized sweep (9 system sizes x 6 parallelism degrees, the
+// paper's full idle-time grid).  Runs the sweep serially and at each
+// requested thread count, checks that every produced table is identical
+// to the serial one cell for cell, and reports the speedups.  Exits
+// nonzero if any thread count diverges from the serial results.
+//
+// On a machine with >= 8 hardware threads the 8-thread run is expected
+// to be >= 3x faster than the serial path (the points are embarrassingly
+// parallel; the ceiling is load imbalance from the 256-node simulations).
+//
+// Usage: bench_sweep [csv=1] [threads=1,2,4,8] [horizon=20000]
+//                    [latency=200] [premote=0.1] [seed=1]
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "core/figures.hpp"
+
+namespace {
+
+using namespace pimsim;
+
+double time_fig12(const core::ParcelFigureConfig& fig, Table* out) {
+  const auto start = std::chrono::steady_clock::now();
+  Table t = core::make_fig12(fig);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  *out = std::move(t);
+  return elapsed;
+}
+
+bool tables_identical(const Table& a, const Table& b) {
+  if (a.rows() != b.rows() || a.columns() != b.columns()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    if (a.row(r) != b.row(r)) return false;  // bitwise: Cell variants compare ==
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config cfg = Config::from_args(argc, argv);
+    core::ParcelFigureConfig fig = core::ParcelFigureConfig::defaults_fig12();
+    fig.base.horizon = cfg.get_double("horizon", 20'000.0);
+    fig.base.round_trip_latency = cfg.get_double("latency", 200.0);
+    fig.base.p_remote = cfg.get_double("premote", 0.1);
+    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+    Table serial("unset", {"-"});
+    fig.sweep_threads = 1;
+    const double serial_s = time_fig12(fig, &serial);
+
+    Table result("bench_sweep: SweepRunner scaling on the Figure 12 grid",
+                 {"threads", "time (s)", "speedup", "identical to serial"});
+    result.add_row({static_cast<std::int64_t>(1), serial_s, 1.0,
+                    std::string("yes (reference)")});
+
+    bool all_identical = true;
+    for (double t : cfg.get_list("threads", {2, 4, 8})) {
+      fig.sweep_threads = static_cast<std::size_t>(t);
+      if (fig.sweep_threads == 0) {  // report the resolved count for threads=0
+        fig.sweep_threads = std::max(1u, std::thread::hardware_concurrency());
+      }
+      Table parallel("unset", {"-"});
+      const double parallel_s = time_fig12(fig, &parallel);
+      const bool same = tables_identical(serial, parallel);
+      all_identical = all_identical && same;
+      result.add_row({static_cast<std::int64_t>(fig.sweep_threads), parallel_s,
+                      serial_s / parallel_s,
+                      std::string(same ? "yes" : "NO — DETERMINISM BUG")});
+    }
+
+    bench::emit(result, cfg);
+    if (!all_identical) {
+      std::cerr << "error: parallel sweep diverged from the serial results\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -9,8 +9,10 @@
 #include "analytic/hwp_lwp.hpp"
 #include "analytic/multithreading.hpp"
 #include "analytic/parcel_model.hpp"
+#include "arch/host_system.hpp"
 #include "arch/params.hpp"
 #include "core/design_space.hpp"
+#include "core/sweep.hpp"
 
 int main() {
   using namespace pimsim;
@@ -98,5 +100,39 @@ int main() {
   std::printf("  NIC-aware parcel ceiling     : %.3f work/cycle/node at "
               "20-cycle injection gap\n",
               analytic::test_throughput_bandwidth_bound(pp));
+
+  // --- 6. simulated confirmation of the map, swept in parallel ----------
+  // The analytic regime map above is instant; confirming it by simulation
+  // is a (N, %WL) x replications grid — exactly what SweepRunner fans
+  // across cores.  Means carry 95% CI half-widths from 3 replications.
+  const std::vector<std::size_t> sweep_nodes{1, 4, 16, 64};
+  const std::vector<double> sweep_fractions{0.3, 0.5, 0.7, 0.9};
+  core::SweepRunner runner;  // one thread per core
+  std::printf("\nsimulated gain map (%zu-thread sweep, mean +/- 95%% CI):\n",
+              runner.threads());
+  const std::vector<Estimate> gains = runner.sweep(
+      sweep_nodes.size() * sweep_fractions.size(), /*replications=*/3,
+      /*base_seed=*/1,
+      [&](std::size_t idx, std::uint64_t seed) {
+        arch::HostConfig point;
+        point.workload.total_ops = 2'000'000;
+        point.batch_ops = 20'000;
+        point.lwp_nodes = sweep_nodes[idx / sweep_fractions.size()];
+        point.workload.lwp_fraction =
+            sweep_fractions[idx % sweep_fractions.size()];
+        point.seed = seed;
+        return arch::simulated_gain(point);
+      });
+  std::printf("%-8s", "");
+  for (double pct : sweep_fractions) std::printf("%-16.0f", pct * 100.0);
+  std::printf("\n");
+  for (std::size_t ni = 0; ni < sweep_nodes.size(); ++ni) {
+    std::printf("%-8zu", sweep_nodes[ni]);
+    for (std::size_t fi = 0; fi < sweep_fractions.size(); ++fi) {
+      const Estimate& e = gains[ni * sweep_fractions.size() + fi];
+      std::printf("%6.2f +/- %-5.2f", e.mean, e.half_width);
+    }
+    std::printf("\n");
+  }
   return 0;
 }

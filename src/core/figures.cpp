@@ -1,5 +1,7 @@
 #include "core/figures.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <string>
 
 #include "analytic/accuracy.hpp"
@@ -7,6 +9,7 @@
 #include "analytic/parcel_model.hpp"
 #include "common/error.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "memory/dram.hpp"
 
 namespace pimsim::core {
@@ -82,19 +85,23 @@ Table make_fig5(const HostFigureConfig& config) {
   }
   Table t("Figure 5: Simulation of Performance Gain (test vs control)", cols);
 
-  for (double pct : config.lwp_fractions) {
-    std::vector<Cell> row{pct * 100.0};
-    for (std::size_t n : config.node_counts) {
-      arch::HostConfig cfg = config.base;
-      cfg.lwp_nodes = n;
-      cfg.workload.lwp_fraction = pct;
-      const Estimate est = replicate(
-          config.replications, cfg.seed, [&cfg](std::uint64_t seed) {
-            arch::HostConfig point = cfg;
-            point.seed = seed;
-            return arch::simulated_gain(point);
-          });
-      row.push_back(est.mean);
+  // Fan the (%WL, N) grid across cores; point order fixes the table layout.
+  const std::size_t n_cols = config.node_counts.size();
+  SweepRunner runner(config.sweep_threads);
+  const std::vector<Estimate> estimates = runner.sweep(
+      config.lwp_fractions.size() * n_cols, config.replications,
+      config.base.seed, [&config, n_cols](std::size_t idx, std::uint64_t seed) {
+        arch::HostConfig point = config.base;
+        point.workload.lwp_fraction = config.lwp_fractions[idx / n_cols];
+        point.lwp_nodes = config.node_counts[idx % n_cols];
+        point.seed = seed;
+        return arch::simulated_gain(point);
+      });
+
+  for (std::size_t pi = 0; pi < config.lwp_fractions.size(); ++pi) {
+    std::vector<Cell> row{config.lwp_fractions[pi] * 100.0};
+    for (std::size_t ni = 0; ni < n_cols; ++ni) {
+      row.push_back(estimates[pi * n_cols + ni].mean);
     }
     t.add_row(std::move(row));
   }
@@ -111,19 +118,22 @@ Table make_fig6(const HostFigureConfig& config) {
   Table t("Figure 6: Single Thread/Node Response Time (unnormalized, ns)",
           cols);
 
-  for (std::size_t n : config.node_counts) {
-    std::vector<Cell> row{static_cast<std::int64_t>(n)};
-    for (double pct : config.lwp_fractions) {
-      arch::HostConfig cfg = config.base;
-      cfg.lwp_nodes = n;
-      cfg.workload.lwp_fraction = pct;
-      const Estimate est = replicate(
-          config.replications, cfg.seed, [&cfg](std::uint64_t seed) {
-            arch::HostConfig point = cfg;
-            point.seed = seed;
-            return arch::run_host_system(point).total_ns(point.params);
-          });
-      row.push_back(est.mean);
+  const std::size_t n_cols = config.lwp_fractions.size();
+  SweepRunner runner(config.sweep_threads);
+  const std::vector<Estimate> estimates = runner.sweep(
+      config.node_counts.size() * n_cols, config.replications,
+      config.base.seed, [&config, n_cols](std::size_t idx, std::uint64_t seed) {
+        arch::HostConfig point = config.base;
+        point.lwp_nodes = config.node_counts[idx / n_cols];
+        point.workload.lwp_fraction = config.lwp_fractions[idx % n_cols];
+        point.seed = seed;
+        return arch::run_host_system(point).total_ns(point.params);
+      });
+
+  for (std::size_t ni = 0; ni < config.node_counts.size(); ++ni) {
+    std::vector<Cell> row{static_cast<std::int64_t>(config.node_counts[ni])};
+    for (std::size_t pi = 0; pi < n_cols; ++pi) {
+      row.push_back(estimates[ni * n_cols + pi].mean);
     }
     t.add_row(std::move(row));
   }
@@ -132,7 +142,8 @@ Table make_fig6(const HostFigureConfig& config) {
 
 Table make_fig7(const arch::SystemParams& params,
                 const std::vector<double>& node_counts,
-                const std::vector<double>& lwp_fractions) {
+                const std::vector<double>& lwp_fractions,
+                std::size_t sweep_threads) {
   require(!node_counts.empty() && !lwp_fractions.empty(),
           "make_fig7: empty axes");
   std::vector<std::string> cols{"Nodes"};
@@ -140,10 +151,17 @@ Table make_fig7(const arch::SystemParams& params,
   Table t("Figure 7: Normalized Time_relative = 1 - %WL*(1 - NB/N)  [NB = " +
               format_number(params.nb()) + "]",
           cols);
-  for (double n : node_counts) {
-    std::vector<Cell> row{n};
-    for (double pct : lwp_fractions) {
-      row.push_back(analytic::time_relative(params, n, pct));
+  const std::size_t n_cols = lwp_fractions.size();
+  std::vector<double> values(node_counts.size() * n_cols);
+  SweepRunner runner(sweep_threads);
+  runner.for_each(values.size(), [&](std::size_t idx) {
+    values[idx] = analytic::time_relative(params, node_counts[idx / n_cols],
+                                          lwp_fractions[idx % n_cols]);
+  });
+  for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+    std::vector<Cell> row{node_counts[ni]};
+    for (std::size_t pi = 0; pi < n_cols; ++pi) {
+      row.push_back(values[ni * n_cols + pi]);
     }
     t.add_row(std::move(row));
   }
@@ -192,25 +210,38 @@ Table make_fig11(const ParcelFigureConfig& config) {
           {"Parallelism", "%remote", "Latency (cycles)", "ratio",
            "ratio (model)", "ratio (MVA)"});
   // The control system has no parallelism knob, so run it once per
-  // (remote fraction, latency) pair and reuse it across the panels.
-  for (double remote : config.remote_fractions) {
-    for (double latency : config.latencies) {
-      parcel::SplitTransactionParams base = config.base;
-      base.p_remote = remote;
-      base.round_trip_latency = latency;
-      const double control_work =
-          parcel::run_message_passing_system(base).total_work();
-      for (std::size_t par : config.parallelism) {
-        parcel::SplitTransactionParams p = base;
-        p.parallelism = par;
-        const double test_work =
-            parcel::run_split_transaction_system(p).total_work();
-        t.add_row({static_cast<std::int64_t>(par), remote * 100.0, latency,
-                   test_work / control_work, analytic::predicted_ratio(p),
-                   analytic::predicted_ratio_mva(p)});
-      }
-    }
-  }
+  // (remote fraction, latency) pair and reuse it across the panels.  The
+  // pairs are independent design points: fan them across cores and append
+  // the finished row groups in pair order.
+  const std::size_t n_lat = config.latencies.size();
+  const std::size_t n_par = config.parallelism.size();
+  std::vector<std::vector<Cell>> rows(config.remote_fractions.size() * n_lat *
+                                      n_par);
+  SweepRunner runner(config.sweep_threads);
+  runner.for_each(
+      config.remote_fractions.size() * n_lat, [&](std::size_t pair) {
+        const double remote = config.remote_fractions[pair / n_lat];
+        const double latency = config.latencies[pair % n_lat];
+        parcel::SplitTransactionParams base = config.base;
+        base.p_remote = remote;
+        base.round_trip_latency = latency;
+        const double control_work =
+            parcel::run_message_passing_system(base).total_work();
+        for (std::size_t pi = 0; pi < n_par; ++pi) {
+          parcel::SplitTransactionParams p = base;
+          p.parallelism = config.parallelism[pi];
+          const double test_work =
+              parcel::run_split_transaction_system(p).total_work();
+          rows[pair * n_par + pi] = {
+              static_cast<std::int64_t>(config.parallelism[pi]),
+              remote * 100.0,
+              latency,
+              test_work / control_work,
+              analytic::predicted_ratio(p),
+              analytic::predicted_ratio_mva(p)};
+        }
+      });
+  for (std::vector<Cell>& row : rows) t.add_row(std::move(row));
   return t;
 }
 
@@ -219,21 +250,42 @@ Table make_fig12(const ParcelFigureConfig& config) {
           "make_fig12: empty axes");
   Table t("Figure 12: Idle Time with respect to Degree of Parallelism",
           {"Nodes", "Parallelism", "test idle %", "control idle %"});
-  for (std::size_t nodes : config.node_counts) {
-    // The control system has no parallelism knob: run it once per size.
+  // The control system has no parallelism knob, so one control run is
+  // shared by every parallelism cell of a size; the (size, parallelism)
+  // test runs then fan across cores individually for even load balance.
+  const std::size_t n_par = config.parallelism.size();
+  SweepRunner runner(config.sweep_threads);
+  std::vector<double> control_idle(config.node_counts.size());
+  runner.for_each(config.node_counts.size(), [&](std::size_t ni) {
     parcel::SplitTransactionParams base = config.base;
-    base.nodes = nodes;
-    const auto control = parcel::run_message_passing_system(base);
-    const double control_idle = control.mean_idle_fraction();
-    for (std::size_t par : config.parallelism) {
-      parcel::SplitTransactionParams p = base;
-      p.parallelism = par;
-      const auto test = parcel::run_split_transaction_system(p);
-      t.add_row({static_cast<std::int64_t>(nodes),
-                 static_cast<std::int64_t>(par),
-                 test.mean_idle_fraction() * 100.0, control_idle * 100.0});
-    }
-  }
+    base.nodes = config.node_counts[ni];
+    control_idle[ni] =
+        parcel::run_message_passing_system(base).mean_idle_fraction();
+  });
+  std::vector<std::vector<Cell>> rows(config.node_counts.size() * n_par);
+  // Dispatch the expensive cells first: a 256-node, 32-context simulation
+  // costs ~nodes*parallelism, and starting it last would leave one thread
+  // finishing it alone while the rest sit idle.
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto cost = [&](std::size_t idx) {
+      return config.node_counts[idx / n_par] * config.parallelism[idx % n_par];
+    };
+    return cost(a) > cost(b);
+  });
+  runner.for_each(rows.size(), [&](std::size_t k) {
+    const std::size_t idx = order[k];
+    const std::size_t ni = idx / n_par;
+    parcel::SplitTransactionParams p = config.base;
+    p.nodes = config.node_counts[ni];
+    p.parallelism = config.parallelism[idx % n_par];
+    const auto test = parcel::run_split_transaction_system(p);
+    rows[idx] = {static_cast<std::int64_t>(p.nodes),
+                 static_cast<std::int64_t>(p.parallelism),
+                 test.mean_idle_fraction() * 100.0, control_idle[ni] * 100.0};
+  });
+  for (std::vector<Cell>& row : rows) t.add_row(std::move(row));
   return t;
 }
 

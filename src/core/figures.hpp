@@ -25,6 +25,7 @@ struct HostFigureConfig {
   std::vector<std::size_t> node_counts;      ///< N axis
   std::vector<double> lwp_fractions;         ///< %WL axis / curve family
   std::size_t replications = 3;
+  std::size_t sweep_threads = 0;  ///< SweepRunner fan-out; 0 = all cores
 
   /// Paper axes: N in {1..256} (Fig 5) / {1..64} (Fig 6), %WL 0..100%.
   [[nodiscard]] static HostFigureConfig defaults_fig5();
@@ -39,10 +40,13 @@ struct HostFigureConfig {
 [[nodiscard]] Table make_fig6(const HostFigureConfig& config);
 
 /// Figure 7: analytic normalized Time_relative vs node count, one column
-/// per %WL; exposes the coincidence point at N = NB.
+/// per %WL; exposes the coincidence point at N = NB.  Unlike the simulated
+/// figures the cells are closed-form and too cheap to amortize a thread
+/// pool, so sweep_threads defaults to serial rather than all cores.
 [[nodiscard]] Table make_fig7(const arch::SystemParams& params,
                               const std::vector<double>& node_counts,
-                              const std::vector<double>& lwp_fractions);
+                              const std::vector<double>& lwp_fractions,
+                              std::size_t sweep_threads = 1);
 
 /// Section 3.1.2 accuracy claim: sim-vs-analytic relative error grid.
 [[nodiscard]] Table make_accuracy_table(const HostFigureConfig& config);
@@ -54,6 +58,7 @@ struct ParcelFigureConfig {
   std::vector<double> remote_fractions; ///< curve family (Figure 11)
   std::vector<std::size_t> parallelism; ///< panels (Fig 11) / x-axis (Fig 12)
   std::vector<std::size_t> node_counts; ///< panels (Figure 12)
+  std::size_t sweep_threads = 0;        ///< SweepRunner fan-out; 0 = all cores
 
   [[nodiscard]] static ParcelFigureConfig defaults_fig11();
   [[nodiscard]] static ParcelFigureConfig defaults_fig12();

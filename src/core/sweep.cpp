@@ -1,0 +1,124 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+
+namespace pimsim::core {
+
+// One parallel index loop.  Heap-allocated and shared with every queued
+// runner task, so a task that drains from the queue after the batch has
+// already completed finds an exhausted counter and exits without touching
+// the (by then destroyed) loop body.
+struct SweepRunner::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;  // valid while remaining > 0
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+SweepRunner::SweepRunner(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SweepRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop requested and nothing left to run
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void SweepRunner::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.body)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(batch.mutex);
+        if (!batch.error) batch.error = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(batch.mutex);
+      batch.done = true;
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void SweepRunner::for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+  require(static_cast<bool>(body), "SweepRunner::for_each: empty body");
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->body = &body;
+  batch->remaining.store(count, std::memory_order_relaxed);
+
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([batch] { run_batch(*batch); });
+    }
+  }
+  queue_cv_.notify_all();
+
+  run_batch(*batch);  // the calling thread pulls indices too
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&batch] { return batch->done; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+std::vector<Estimate> SweepRunner::sweep(
+    std::size_t points, std::size_t replications, std::uint64_t base_seed,
+    const std::function<double(std::size_t, std::uint64_t)>& measure) {
+  require(static_cast<bool>(measure), "SweepRunner::sweep: empty measurement");
+  std::vector<Estimate> out(points);
+  for_each(points, [&](std::size_t i) {
+    out[i] = replicate(replications, base_seed,
+                       [&](std::uint64_t seed) { return measure(i, seed); });
+  });
+  return out;
+}
+
+}  // namespace pimsim::core

@@ -71,7 +71,7 @@ void ParcelMachine::ship(Parcel parcel) {
                    [inbox, bytes = std::move(bytes)] { inbox->send(bytes); });
 }
 
-des::Process ParcelMachine::engine(Node& node, NodeId id) {
+des::Process ParcelMachine::engine(Node& node, NodeId /*id*/) {
   while (true) {
     const auto bytes = co_await node.inbox->receive();
     node.stats.bytes_received += bytes.size();

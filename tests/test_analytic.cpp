@@ -132,10 +132,31 @@ TEST(HwpLwpModel, MinNodesForGain) {
 
 TEST(HwpLwpModel, InputValidation) {
   const SystemParams p = SystemParams::table1();
-  EXPECT_THROW(time_relative(p, 0.5, 0.5), ConfigError);
-  EXPECT_THROW(time_relative(p, 4.0, 1.5), ConfigError);
-  EXPECT_THROW(max_gain(-0.1), ConfigError);
-  EXPECT_THROW(min_nodes_for_gain(p, 0.5, 0.0), ConfigError);
+  EXPECT_THROW(
+      {
+        const double t = time_relative(p, 0.5, 0.5);
+        ADD_FAILURE() << "time_relative accepted N < 1, returned " << t;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const double t = time_relative(p, 4.0, 1.5);
+        ADD_FAILURE() << "time_relative accepted %WL > 1, returned " << t;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const double g = max_gain(-0.1);
+        ADD_FAILURE() << "max_gain accepted %WL < 0, returned " << g;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const std::size_t n = min_nodes_for_gain(p, 0.5, 0.0);
+        ADD_FAILURE() << "min_nodes_for_gain accepted gain <= 0, returned "
+                      << n;
+      },
+      ConfigError);
 }
 
 // --- Simulation vs analytic accuracy (Section 3.1.2) --------------------
@@ -161,7 +182,12 @@ TEST(Accuracy, SimulationTracksModelAcrossGrid) {
 TEST(Accuracy, RejectsEmptyAxes) {
   arch::HostConfig base;
   EXPECT_THROW(compare_grid(base, {}, {0.5}), ConfigError);
-  EXPECT_THROW(summarize({}), ConfigError);
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] const auto& band = summarize({});
+        ADD_FAILURE() << "summarize accepted an empty grid";
+      },
+      ConfigError);
 }
 
 // --- Parcel closed forms -------------------------------------------------

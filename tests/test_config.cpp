@@ -51,10 +51,30 @@ TEST(Config, IgnoresDashDashFlags) {
 
 TEST(Config, RejectsBadNumbers) {
   Config cfg = Config::from_string("x=abc y=1.5z");
-  EXPECT_THROW(cfg.get_double("x", 0.0), ConfigError);
-  EXPECT_THROW(cfg.get_double("y", 0.0), ConfigError);
-  EXPECT_THROW(cfg.get_int("x", 0), ConfigError);
-  EXPECT_THROW(cfg.get_bool("x", false), ConfigError);
+  EXPECT_THROW(
+      {
+        const double v = cfg.get_double("x", 0.0);
+        ADD_FAILURE() << "get_double parsed \"abc\" as " << v;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const double v = cfg.get_double("y", 0.0);
+        ADD_FAILURE() << "get_double parsed \"1.5z\" as " << v;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const std::int64_t v = cfg.get_int("x", 0);
+        ADD_FAILURE() << "get_int parsed \"abc\" as " << v;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const bool v = cfg.get_bool("x", false);
+        ADD_FAILURE() << "get_bool parsed \"abc\" as " << v;
+      },
+      ConfigError);
 }
 
 TEST(Config, UnusedKeyDetection) {

@@ -81,10 +81,21 @@ TEST(MultithreadModel, Validation) {
   MultithreadSpec bad{0.0, 10.0, 1.0};
   EXPECT_THROW(bad.validate(), ConfigError);
   const SystemParams p = SystemParams::table1();
-  EXPECT_THROW(lwp_cost_per_op_mt(p, 0, 1.0), ConfigError);
+  EXPECT_THROW(
+      {
+        const double c = lwp_cost_per_op_mt(p, 0, 1.0);
+        ADD_FAILURE() << "lwp_cost_per_op_mt accepted 0 threads, returned "
+                      << c;
+      },
+      ConfigError);
   SystemParams no_mem = p;
   no_mem.ls_mix = 0.0;
-  EXPECT_THROW(lwp_thread_spec(no_mem, 1.0), ConfigError);
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] const auto& spec = lwp_thread_spec(no_mem, 1.0);
+        ADD_FAILURE() << "lwp_thread_spec accepted a zero memory mix";
+      },
+      ConfigError);
 }
 
 // --- DES cross-validation -------------------------------------------------
@@ -179,7 +190,12 @@ TEST(PimChip, Validation) {
   chip.lwp_cycle_ns = 0.0;
   EXPECT_THROW(chip.validate(), ConfigError);
   chip = PimChipSpec{};
-  EXPECT_THROW(chip.peak_gops(1.5), ConfigError);
+  EXPECT_THROW(
+      {
+        const double g = chip.peak_gops(1.5);
+        ADD_FAILURE() << "peak_gops accepted IPC > 1, returned " << g;
+      },
+      ConfigError);
 }
 
 TEST(HwpTrace, MissRateEmergesFromAccessStream) {

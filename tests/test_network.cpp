@@ -31,7 +31,13 @@ TEST(RingInterconnect, HopCounting) {
 
 TEST(RingInterconnect, RejectsOutOfRange) {
   RingInterconnect net(4, 0.0, 1.0);
-  EXPECT_THROW(net.one_way_latency(0, 4), ConfigError);
+  EXPECT_THROW(
+      {
+        const auto latency = net.one_way_latency(0, 4);
+        ADD_FAILURE() << "one_way_latency accepted node 4 of 4, returned "
+                      << latency;
+      },
+      ConfigError);
 }
 
 TEST(Mesh2D, ManhattanRouting) {

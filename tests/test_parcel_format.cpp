@@ -120,7 +120,13 @@ TEST(ActionRegistry, RejectsDuplicatesAndUnknown) {
   EXPECT_THROW(registry.register_method(1, "b", noop), ConfigError);
   MemoryStore store;
   EXPECT_THROW(registry.invoke(2, store, 0, {}), ConfigError);
-  EXPECT_THROW(registry.method_name(2), ConfigError);
+  EXPECT_THROW(
+      {
+        const std::string& name = registry.method_name(2);
+        ADD_FAILURE() << "method_name resolved unknown id to \"" << name
+                      << "\"";
+      },
+      ConfigError);
 }
 
 TEST(ExecuteAction, ReadProducesReplyToContinuation) {

@@ -99,10 +99,31 @@ TEST(Md1Simulation, DeterministicServiceMatchesPK) {
 }
 
 TEST(Formulas, RejectUnstableQueues) {
-  EXPECT_THROW(mm1_mean_response(1.0, 1.0), ConfigError);
-  EXPECT_THROW(mm1_mean_response(1.5, 1.0), ConfigError);
-  EXPECT_THROW(erlang_c(3.0, 1.0, 2), ConfigError);
-  EXPECT_THROW(offered_load(0.0, 1.0, 1), ConfigError);
+  EXPECT_THROW(
+      {
+        const double r = mm1_mean_response(1.0, 1.0);
+        ADD_FAILURE() << "mm1_mean_response accepted rho = 1, returned " << r;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const double r = mm1_mean_response(1.5, 1.0);
+        ADD_FAILURE() << "mm1_mean_response accepted rho > 1, returned " << r;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const double p = erlang_c(3.0, 1.0, 2);
+        ADD_FAILURE() << "erlang_c accepted an overloaded group, returned "
+                      << p;
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        const double a = offered_load(0.0, 1.0, 1);
+        ADD_FAILURE() << "offered_load accepted lambda = 0, returned " << a;
+      },
+      ConfigError);
 }
 
 // --- Simulation vs closed form (kernel qualification) -------------------
@@ -200,10 +221,20 @@ TEST(DelayCenter, JobsDoNotQueue) {
 TEST(OpenNetwork, RejectsBadSpecs) {
   OpenNetworkSpec spec;
   spec.lambda = 0.0;
-  EXPECT_THROW(run_open_network(spec), ConfigError);
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] const auto& r = run_open_network(spec);
+        ADD_FAILURE() << "run_open_network accepted lambda = 0";
+      },
+      ConfigError);
   spec.lambda = 0.5;
   spec.warmup_jobs = spec.jobs;
-  EXPECT_THROW(run_open_network(spec), ConfigError);
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] const auto& r = run_open_network(spec);
+        ADD_FAILURE() << "run_open_network accepted warmup >= jobs";
+      },
+      ConfigError);
 }
 
 }  // namespace

@@ -122,8 +122,19 @@ TEST(Resource, WaitStatsMeasureQueueingDelay) {
 TEST(Resource, RejectsMisuse) {
   Simulation sim;
   Resource r(sim, 2);
-  EXPECT_THROW(r.acquire(0), ConfigError);
-  EXPECT_THROW(r.acquire(3), ConfigError);  // would deadlock
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] const auto& awaitable = r.acquire(0);
+        ADD_FAILURE() << "acquire accepted a zero-unit request";
+      },
+      ConfigError);
+  EXPECT_THROW(
+      {
+        // Requesting more than capacity would deadlock if allowed.
+        [[maybe_unused]] const auto& awaitable = r.acquire(3);
+        ADD_FAILURE() << "acquire accepted a request above capacity";
+      },
+      ConfigError);
   EXPECT_THROW(r.release(1), LogicError);   // nothing held
   EXPECT_THROW(Resource(sim, 0), ConfigError);
 }

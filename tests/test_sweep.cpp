@@ -1,0 +1,153 @@
+// SweepRunner: parallel correctness, determinism across thread counts,
+// and edge cases.  The determinism tests are the engine's contract: the
+// schedule may reorder work, but every (point, seed) computation and its
+// aggregation are fixed by base_seed alone, so estimates must be
+// bitwise-identical for any thread count.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+
+namespace pimsim::core {
+namespace {
+
+// A measurement with enough per-call work that a racy scheduler would
+// actually interleave: walks an Rng stream derived from (point, seed).
+double noisy_measure(std::size_t point, std::uint64_t seed) {
+  Rng rng(seed, /*stream_id=*/point);
+  double acc = 0.0;
+  for (int i = 0; i < 500; ++i) acc += rng.uniform();
+  return acc / 500.0 + static_cast<double>(point);
+}
+
+TEST(SweepRunner, ResolvesThreadCounts) {
+  EXPECT_GE(SweepRunner(0).threads(), 1u);  // 0 = hardware concurrency
+  EXPECT_EQ(SweepRunner(1).threads(), 1u);
+  EXPECT_EQ(SweepRunner(4).threads(), 4u);
+}
+
+TEST(SweepRunner, ForEachVisitsEveryIndexExactlyOnce) {
+  SweepRunner runner(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  runner.for_each(kCount, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(SweepRunner, ForEachHandlesEmptyAndSingleton) {
+  SweepRunner runner(4);
+  std::atomic<int> calls{0};
+  runner.for_each(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  runner.for_each(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(SweepRunner, ForEachIsReusableAcrossBatches) {
+  SweepRunner runner(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    runner.for_each(round % 7 + 1, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    const std::size_t n = static_cast<std::size_t>(round % 7) + 1;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+TEST(SweepRunner, ForEachPropagatesExceptions) {
+  SweepRunner runner(4);
+  EXPECT_THROW(
+      runner.for_each(100,
+                      [](std::size_t i) {
+                        if (i == 37) throw ConfigError("boom at 37");
+                      }),
+      ConfigError);
+  // The pool must survive a failed batch.
+  std::atomic<int> calls{0};
+  runner.for_each(10, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(SweepRunner, ForEachRejectsEmptyBody) {
+  SweepRunner runner(2);
+  EXPECT_THROW(runner.for_each(3, std::function<void(std::size_t)>{}),
+               ConfigError);
+}
+
+TEST(SweepRunner, SweepMatchesSerialReplicatePointwise) {
+  constexpr std::size_t kPoints = 12;
+  constexpr std::size_t kReps = 5;
+  constexpr std::uint64_t kSeed = 2026;
+  SweepRunner runner(4);
+  const std::vector<Estimate> parallel =
+      runner.sweep(kPoints, kReps, kSeed, noisy_measure);
+  ASSERT_EQ(parallel.size(), kPoints);
+  for (std::size_t p = 0; p < kPoints; ++p) {
+    const Estimate serial = replicate(kReps, kSeed, [p](std::uint64_t seed) {
+      return noisy_measure(p, seed);
+    });
+    EXPECT_EQ(parallel[p].mean, serial.mean) << "point " << p;
+    EXPECT_EQ(parallel[p].half_width, serial.half_width) << "point " << p;
+  }
+}
+
+TEST(SweepRunner, SweepIsBitwiseIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kPoints = 40;
+  constexpr std::size_t kReps = 3;
+  constexpr std::uint64_t kSeed = 7;
+  SweepRunner serial(1);
+  const std::vector<Estimate> reference =
+      serial.sweep(kPoints, kReps, kSeed, noisy_measure);
+  for (std::size_t threads : {2, 4, 8}) {
+    SweepRunner runner(threads);
+    const std::vector<Estimate> estimates =
+        runner.sweep(kPoints, kReps, kSeed, noisy_measure);
+    ASSERT_EQ(estimates.size(), reference.size());
+    for (std::size_t p = 0; p < kPoints; ++p) {
+      EXPECT_EQ(estimates[p].mean, reference[p].mean)
+          << threads << " threads, point " << p;
+      EXPECT_EQ(estimates[p].half_width, reference[p].half_width)
+          << threads << " threads, point " << p;
+    }
+  }
+}
+
+TEST(SweepRunner, SweepHandlesEmptyAndSingletonGrids) {
+  SweepRunner runner(4);
+  EXPECT_TRUE(runner.sweep(0, 3, 1, noisy_measure).empty());
+  const std::vector<Estimate> one = runner.sweep(1, 3, 1, noisy_measure);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(std::isfinite(one[0].mean));
+  EXPECT_GE(one[0].half_width, 0.0);
+}
+
+TEST(SweepRunner, SweepRejectsEmptyMeasurement) {
+  SweepRunner runner(2);
+  EXPECT_THROW(
+      {
+        const auto estimates = runner.sweep(
+            3, 3, 1, std::function<double(std::size_t, std::uint64_t)>{});
+        ADD_FAILURE() << "sweep accepted an empty measurement, returned "
+                      << estimates.size() << " estimates";
+      },
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace pimsim::core

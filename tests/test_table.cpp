@@ -26,12 +26,22 @@ TEST(Table, RejectsMismatchedRow) {
 TEST(Table, RejectsTextAsNumber) {
   Table t("demo", {"a"});
   t.add_row({std::string("hello")});
-  EXPECT_THROW(t.number_at(0, 0), ConfigError);
+  EXPECT_THROW(
+      {
+        const double v = t.number_at(0, 0);
+        ADD_FAILURE() << "number_at read a text cell as " << v;
+      },
+      ConfigError);
 }
 
 TEST(Table, RejectsOutOfRange) {
   Table t("demo", {"a"});
-  EXPECT_THROW(t.row(0), ConfigError);
+  EXPECT_THROW(
+      {
+        [[maybe_unused]] const auto& row = t.row(0);
+        ADD_FAILURE() << "row(0) succeeded on an empty table";
+      },
+      ConfigError);
   EXPECT_THROW(Table("t", {}), ConfigError);
 }
 
