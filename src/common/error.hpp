@@ -7,8 +7,10 @@
 //    -> LogicError, indicating a bug in the library or a client model.
 #pragma once
 
+#include <concepts>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace pimsim {
 
@@ -25,13 +27,31 @@ class LogicError : public std::logic_error {
 };
 
 /// Validates a user-facing precondition; throws ConfigError on failure.
+/// The const char* overload keeps literal-message checks allocation-free
+/// on the success path (the message only becomes a std::string on throw);
+/// hot paths that concatenate a message should pass a callable building
+/// it, deferring the string work to the failure branch.
+inline void require(bool cond, const char* message) {
+  if (!cond) [[unlikely]] throw ConfigError(message);
+}
 inline void require(bool cond, const std::string& message) {
-  if (!cond) throw ConfigError(message);
+  if (!cond) [[unlikely]] throw ConfigError(message);
+}
+template <std::invocable F>
+inline void require(bool cond, F&& make_message) {
+  if (!cond) [[unlikely]] throw ConfigError(std::forward<F>(make_message)());
 }
 
 /// Validates an internal invariant; throws LogicError on failure.
+inline void ensure(bool cond, const char* message) {
+  if (!cond) [[unlikely]] throw LogicError(message);
+}
 inline void ensure(bool cond, const std::string& message) {
-  if (!cond) throw LogicError(message);
+  if (!cond) [[unlikely]] throw LogicError(message);
+}
+template <std::invocable F>
+inline void ensure(bool cond, F&& make_message) {
+  if (!cond) [[unlikely]] throw LogicError(std::forward<F>(make_message)());
 }
 
 }  // namespace pimsim

@@ -1,0 +1,171 @@
+// Type-erased one-shot event callback for the simulation kernel.
+//
+// EventAction is a small tagged union replacing the std::function the
+// calendar used to store per event.  The three payload kinds cover the
+// kernel's traffic without touching the heap on the hot paths:
+//
+//  * kResume — a raw coroutine handle.  resume_soon()/delay()/mailbox
+//    wake-ups all reduce to this: 8 bytes, no construction cost.
+//  * kSmall  — an arbitrary callable move-constructed into a
+//    kInlineSize-byte (32) inline buffer (covers every lambda the
+//    library schedules, including the parcel transport thunk that owns
+//    a wire-format byte vector).
+//  * kBoxed  — the escape hatch for oversized or throwing-move callables,
+//    heap-allocated as before.
+//
+// Invoking consumes the action: the callable is relocated to the caller's
+// stack before it runs, so a callback may freely schedule new events even
+// when that reallocates the slot pool that used to hold it.  Oversized
+// callables (> kInlineSize) transparently fall back to a heap box.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pimsim::des {
+
+class EventAction {
+ public:
+  /// Callables up to this size (and max_align_t alignment) are stored
+  /// inline; anything larger falls back to a heap box.  32 bytes covers
+  /// a std::function and the parcel transport thunk (pointer + byte
+  /// vector) while keeping the whole EventAction at 48 bytes.
+  static constexpr std::size_t kInlineSize = 32;
+
+  EventAction() noexcept {}
+  EventAction(EventAction&& other) noexcept { move_from(other); }
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+  ~EventAction() { reset(); }
+
+  /// The coroutine-resume fast path: no payload beyond the handle.
+  static EventAction resume(std::coroutine_handle<> h) noexcept {
+    EventAction a;
+    a.kind_ = Kind::kResume;
+    a.storage_.pointer = h.address();
+    return a;
+  }
+
+  /// Wraps an arbitrary callable, inline when it fits.
+  template <typename F>
+  static EventAction wrap(F&& fn) {
+    using Fn = std::decay_t<F>;
+    EventAction a;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(a.storage_.inline_buf))
+          Fn(std::forward<F>(fn));
+      a.ops_ = &kSmallOps<Fn>;
+      a.kind_ = Kind::kSmall;
+    } else {
+      a.storage_.pointer = new Fn(std::forward<F>(fn));
+      a.ops_ = &kBoxedOps<Fn>;
+      a.kind_ = Kind::kBoxed;
+    }
+    return a;
+  }
+
+  /// True while a callback is stored (empty after invoke()/reset()).
+  explicit operator bool() const noexcept { return kind_ != Kind::kEmpty; }
+
+  /// Runs the callback and leaves the action empty.
+  void invoke() {
+    const Kind kind = std::exchange(kind_, Kind::kEmpty);
+    switch (kind) {
+      case Kind::kEmpty:
+        return;
+      case Kind::kResume:
+        std::coroutine_handle<>::from_address(storage_.pointer).resume();
+        return;
+      case Kind::kSmall:
+        ops_->invoke(storage_.inline_buf);
+        return;
+      case Kind::kBoxed:
+        ops_->invoke(storage_.pointer);
+        return;
+    }
+  }
+
+  /// Destroys the payload without running it.
+  void reset() noexcept {
+    const Kind kind = std::exchange(kind_, Kind::kEmpty);
+    if (kind == Kind::kSmall) {
+      ops_->destroy(storage_.inline_buf);
+    } else if (kind == Kind::kBoxed) {
+      ops_->destroy(storage_.pointer);
+    }
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kEmpty, kResume, kSmall, kBoxed };
+
+  struct Ops {
+    void (*invoke)(void* self);   // run, then destroy the stored callable
+    void (*destroy)(void* self);  // destroy without running
+    void (*relocate)(void* from, void* to);  // move-construct + destroy source
+  };
+
+  template <typename Fn>
+  static constexpr Ops kSmallOps = {
+      [](void* self) {
+        // Relocate to the stack first: the callable may schedule events,
+        // which can grow the slot pool out from under `self`.
+        Fn fn = std::move(*static_cast<Fn*>(self));
+        static_cast<Fn*>(self)->~Fn();
+        fn();
+      },
+      [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+      [](void* from, void* to) {
+        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+        static_cast<Fn*>(from)->~Fn();
+      }};
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps = {
+      [](void* self) {
+        std::unique_ptr<Fn> fn(static_cast<Fn*>(self));
+        (*fn)();
+      },
+      [](void* self) { delete static_cast<Fn*>(self); },
+      nullptr};
+
+  void move_from(EventAction& other) noexcept {
+    kind_ = std::exchange(other.kind_, Kind::kEmpty);
+    ops_ = other.ops_;
+    switch (kind_) {
+      case Kind::kSmall:
+        ops_->relocate(other.storage_.inline_buf, storage_.inline_buf);
+        break;
+      case Kind::kResume:
+      case Kind::kBoxed:
+        storage_.pointer = other.storage_.pointer;
+        break;
+      case Kind::kEmpty:
+        break;
+    }
+  }
+
+  union Storage {
+    void* pointer;  // kResume: coroutine frame; kBoxed: heap callable
+    alignas(std::max_align_t) std::byte inline_buf[kInlineSize];
+  };
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+  Kind kind_ = Kind::kEmpty;
+};
+
+}  // namespace pimsim::des

@@ -42,8 +42,11 @@ class Mailbox {
       box_.waiters_.push_back(Waiter{h, &slot_});
     }
     T await_resume() {
-      ensure(slot_.has_value(), "Mailbox '" + box_.name_ +
-                                    "': resumed receiver without a message");
+      // Message built only on failure: receive is a hot path.
+      ensure(slot_.has_value(), [this] {
+        return "Mailbox '" + box_.name_ +
+               "': resumed receiver without a message";
+      });
       box_.sim_.trace(TraceKind::kMailboxReceive, box_.name_);
       return std::move(*slot_);
     }
@@ -55,6 +58,9 @@ class Mailbox {
   };
 
   /// Deposits a message; wakes the oldest waiting receiver, if any.
+  /// Allocation-free when a receiver is waiting: the message moves
+  /// straight into the receiver's frame and the wake-up is a raw
+  /// coroutine-resume calendar entry (EventAction kResume).
   void send(T value) {
     sim_.trace(TraceKind::kMailboxSend, name_);
     if (!waiters_.empty()) {

@@ -1,6 +1,22 @@
-// process.hpp is header-only; this translation unit exists to give the
-// coroutine layer a home in the library and to type-check the header
-// standalone.
+// process.hpp is header-only; this translation unit type-checks the
+// header standalone and pins the kernel fast-path size contracts.
 #include "des/process.hpp"
 
-namespace pimsim::des {}
+#include <cstdint>
+#include <vector>
+
+namespace pimsim::des {
+
+// The common scheduling payloads must stay on the no-allocation paths:
+// a bare coroutine resume is its own EventAction kind, and the parcel
+// transport thunk (mailbox pointer + wire-format byte vector) must fit
+// the inline buffer rather than spill to a heap box.  (Oversized
+// callables — e.g. std::function on ABIs where it exceeds kInlineSize —
+// still work via the boxed fallback; only these two are guaranteed.)
+static_assert(sizeof(void*) + sizeof(std::vector<std::uint8_t>) <=
+                  EventAction::kInlineSize,
+              "the parcel ship() thunk must use the inline small buffer");
+static_assert(std::is_nothrow_move_constructible_v<EventAction>,
+              "slot-pool growth relies on noexcept EventAction relocation");
+
+}  // namespace pimsim::des

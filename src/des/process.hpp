@@ -144,7 +144,9 @@ class [[nodiscard]] DelayAwaitable {
   DelayAwaitable(Simulation& sim, Cycles delay) : sim_(sim), delay_(delay) {}
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    sim_.schedule_in(delay_, [h] { h.resume(); });
+    // Allocation-free: the calendar stores the raw handle (EventAction
+    // kResume), not a functor wrapping it.
+    (void)sim_.resume_in(delay_, h);
   }
   void await_resume() const noexcept {}
 

@@ -26,14 +26,18 @@ void Resource::AcquireAwaitable::await_suspend(std::coroutine_handle<> h) {
 }
 
 Resource::AcquireAwaitable Resource::acquire(std::size_t n) {
-  require(n > 0, "Resource '" + name_ + "': acquire of zero units");
-  require(n <= capacity_,
-          "Resource '" + name_ + "': request exceeds capacity (deadlock)");
+  // Failure messages are built lazily: acquire/release are hot paths.
+  require(n > 0,
+          [&] { return "Resource '" + name_ + "': acquire of zero units"; });
+  require(n <= capacity_, [&] {
+    return "Resource '" + name_ + "': request exceeds capacity (deadlock)";
+  });
   return AcquireAwaitable(*this, n);
 }
 
 bool Resource::try_acquire(std::size_t n) {
-  require(n > 0 && n <= capacity_, "Resource '" + name_ + "': bad try_acquire");
+  require(n > 0 && n <= capacity_,
+          [&] { return "Resource '" + name_ + "': bad try_acquire"; });
   if (!queue_.empty() || capacity_ - in_use_ < n) return false;
   grant(n, sim_.now());
   return true;
@@ -48,8 +52,9 @@ void Resource::grant(std::size_t n, SimTime enqueued_at) {
 }
 
 void Resource::release(std::size_t n) {
-  ensure(n <= in_use_,
-         "Resource '" + name_ + "': release of more units than in use");
+  ensure(n <= in_use_, [&] {
+    return "Resource '" + name_ + "': release of more units than in use";
+  });
   in_use_ -= n;
   busy_.set(sim_.now(), static_cast<double>(in_use_));
   sim_.trace(TraceKind::kResourceRelease, name_);
@@ -57,7 +62,8 @@ void Resource::release(std::size_t n) {
 }
 
 void Resource::drain_queue() {
-  // Strict FIFO: stop at the first waiter that does not fit.
+  // Strict FIFO: stop at the first waiter that does not fit.  Each grant
+  // wake-up is a raw coroutine-resume calendar entry — no allocation.
   while (!queue_.empty() && capacity_ - in_use_ >= queue_.front().n) {
     Waiter w = queue_.front();
     queue_.pop_front();

@@ -1,5 +1,8 @@
 #include "des/simulation.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/error.hpp"
 #include "des/process.hpp"
 
@@ -16,47 +19,168 @@ Simulation::~Simulation() {
   for (void* addr : frames) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }
+  // Pending EventActions (and anything they own) die with slots_.
 }
 
-EventId Simulation::schedule_at(SimTime at, std::function<void()> fn) {
-  ensure(at >= now_, "Simulation::schedule_at: cannot schedule in the past");
-  ensure(static_cast<bool>(fn), "Simulation::schedule_at: empty callback");
-  const EventId id = next_seq_++;
-  calendar_.push(Event{at, id, id});
-  actions_.emplace(id, std::move(fn));
-  if (tracer_) trace(TraceKind::kEventScheduled, "event", std::to_string(id));
-  return id;
-}
+// --- slot pool -----------------------------------------------------------
 
-EventId Simulation::schedule_in(Cycles delay, std::function<void()> fn) {
-  ensure(delay >= 0.0, "Simulation::schedule_in: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventId Simulation::schedule_now(std::function<void()> fn) {
-  return schedule_at(now_, std::move(fn));
+void Simulation::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  if (++slot.generation == 0) slot.generation = 1;  // 0 is the id sentinel
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_events_;
 }
 
 bool Simulation::cancel(EventId id) {
-  const bool erased = actions_.erase(id) > 0;
-  if (erased && tracer_) {
-    trace(TraceKind::kEventCancelled, "event", std::to_string(id));
+  const auto index = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  // The action check rejects ids forged for a currently-free slot.
+  if (slot.generation != gen || !slot.action) return false;
+  slot.action.reset();
+  release_slot(index);
+  ++stale_;
+  if (tracer_) trace(TraceKind::kEventCancelled, "event", std::to_string(id));
+  // Lazy deletion keeps cancel O(1); compact once stale entries dominate
+  // so cancel-heavy workloads cannot grow the calendar without bound.
+  if (stale_ * 2 > calendar_entries() && calendar_entries() >= kCompactFloor) {
+    compact_calendar();
   }
-  return erased;
+  return true;
 }
 
-std::size_t Simulation::events_pending() const { return actions_.size(); }
+// --- 4-ary heap ----------------------------------------------------------
+//
+// A 4-ary implicit heap halves the tree depth of the binary std::priority_
+// queue it replaces, and the four 24-byte children of a node are scanned
+// contiguously — fewer, more predictable memory touches per sift than a
+// binary heap's pointer-chasing depth.
 
-void Simulation::dispatch(const Event& ev) {
-  auto it = actions_.find(ev.id);
-  if (it == actions_.end()) return;  // cancelled
-  // Move the action out before invoking so the callback may schedule/cancel.
-  std::function<void()> fn = std::move(it->second);
-  actions_.erase(it);
-  now_ = ev.time;
+void Simulation::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulation::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (before(heap_[child], heap_[best])) best = child;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+void Simulation::compact_calendar() {
+  std::size_t removed = 0;
+  std::size_t keep = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slots_[entry.slot].generation == entry.gen) {
+      heap_[keep++] = entry;
+    } else {
+      ++removed;
+    }
+  }
+  heap_.resize(keep);
+  if (heap_.size() > 1) {
+    // Floyd heapify: sift down every internal node, deepest first.
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  // Filter the immediate lane in place, preserving FIFO order.
+  std::size_t write = 0;
+  for (std::size_t read = now_head_; read < now_queue_.size(); ++read) {
+    const NowEntry& entry = now_queue_[read];
+    if (slots_[entry.slot].generation == entry.gen) {
+      now_queue_[write++] = entry;
+    } else {
+      ++removed;
+    }
+  }
+  now_queue_.resize(write);
+  now_head_ = 0;
+  stale_ -= removed;
+}
+
+// --- dispatch ------------------------------------------------------------
+
+// Pops the next live event in global (time, seq) order into `out`,
+// merging the heap with the immediate lane and lazily retiring stale
+// (cancelled) entries from both.  With `bounded`, live events beyond
+// `horizon` are left in place and false is returned.
+bool Simulation::pop_next(HeapEntry& out, bool bounded, SimTime horizon) {
+  for (;;) {
+    const bool have_now = now_head_ < now_queue_.size();
+    const bool have_heap = !heap_.empty();
+    if (!have_now && !have_heap) return false;
+    bool use_now = have_now;
+    if (have_now && have_heap) {
+      // Lane entries are all at time now_; a heap entry only precedes the
+      // lane front if it is at now_ with an older sequence number.
+      const HeapEntry& top = heap_.front();
+      if (top.time == now_ && top.seq < now_queue_[now_head_].seq) {
+        use_now = false;
+      }
+    }
+    if (use_now) {
+      const NowEntry entry = now_queue_[now_head_++];
+      if (now_head_ == now_queue_.size()) {
+        now_queue_.clear();
+        now_head_ = 0;
+      } else if (now_head_ >= kCompactFloor &&
+                 now_head_ * 2 >= now_queue_.size()) {
+        // Sustained same-time cascades can keep the lane non-empty for a
+        // whole timestamp; reclaim the consumed prefix once it dominates
+        // so lane memory stays O(pending), not O(events at this time).
+        now_queue_.erase(now_queue_.begin(),
+                         now_queue_.begin() +
+                             static_cast<std::ptrdiff_t>(now_head_));
+        now_head_ = 0;
+      }
+      if (slots_[entry.slot].generation != entry.gen) {
+        --stale_;
+        continue;
+      }
+      out = HeapEntry{now_, entry.seq, entry.slot, entry.gen};
+      return true;
+    }
+    const HeapEntry entry = heap_.front();
+    if (slots_[entry.slot].generation != entry.gen) {
+      heap_pop_top();
+      --stale_;
+      continue;
+    }
+    if (bounded && entry.time > horizon) return false;
+    heap_pop_top();
+    out = entry;
+    return true;
+  }
+}
+
+void Simulation::dispatch(const HeapEntry& entry) {
+  // Relocate the action out of the pool and retire the slot before
+  // invoking: the callback may schedule (growing/reusing the pool) or
+  // cancel, and must observe this event as already dispatched.
+  EventAction action = std::move(slots_[entry.slot].action);
+  release_slot(entry.slot);
+  now_ = entry.time;
   ++dispatched_;
-  if (tracer_) trace(TraceKind::kEventDispatched, "event", std::to_string(ev.id));
-  fn();
+  if (tracer_) {
+    const EventId id =
+        (static_cast<EventId>(entry.gen) << 32) | static_cast<EventId>(entry.slot);
+    trace(TraceKind::kEventDispatched, "event", std::to_string(id));
+  }
+  action.invoke();
 }
 
 void Simulation::rethrow_pending() {
@@ -68,36 +192,32 @@ void Simulation::rethrow_pending() {
 }
 
 void Simulation::run() {
-  while (!calendar_.empty()) {
-    const Event ev = calendar_.top();
-    calendar_.pop();
-    dispatch(ev);
+  HeapEntry entry;
+  while (pop_next(entry, /*bounded=*/false, 0.0)) {
+    dispatch(entry);
     rethrow_pending();
   }
 }
 
 void Simulation::run_until(SimTime horizon) {
   ensure(horizon >= now_, "Simulation::run_until: horizon is in the past");
-  while (!calendar_.empty() && calendar_.top().time <= horizon) {
-    const Event ev = calendar_.top();
-    calendar_.pop();
-    dispatch(ev);
+  HeapEntry entry;
+  while (pop_next(entry, /*bounded=*/true, horizon)) {
+    dispatch(entry);
     rethrow_pending();
   }
   now_ = horizon;
 }
 
 bool Simulation::step() {
-  while (!calendar_.empty()) {
-    const Event ev = calendar_.top();
-    calendar_.pop();
-    const bool live = actions_.count(ev.id) > 0;
-    dispatch(ev);
-    rethrow_pending();
-    if (live) return true;
-  }
-  return false;
+  HeapEntry entry;
+  if (!pop_next(entry, /*bounded=*/false, 0.0)) return false;
+  dispatch(entry);
+  rethrow_pending();
+  return true;
 }
+
+// --- process layer hooks -------------------------------------------------
 
 void Simulation::spawn(Process process) {
   auto h = process.release_for_spawn(*this);
@@ -105,10 +225,6 @@ void Simulation::spawn(Process process) {
   // Start the body via the calendar so spawn() never runs model code inline;
   // this keeps spawn order == start order at a given timestamp.
   resume_soon(h);
-}
-
-void Simulation::resume_soon(std::coroutine_handle<> h) {
-  schedule_now([h] { h.resume(); });
 }
 
 void Simulation::register_process(std::coroutine_handle<> h) {
@@ -124,11 +240,6 @@ void Simulation::unregister_process(std::coroutine_handle<> h) {
 void Simulation::set_pending_exception(std::exception_ptr ep) {
   // Keep the first exception; nested failures would mask the root cause.
   if (!pending_exception_) pending_exception_ = ep;
-}
-
-void Simulation::trace(TraceKind kind, const std::string& label,
-                       const std::string& detail) const {
-  if (tracer_) tracer_->record(TraceRecord{now_, kind, label, detail});
 }
 
 }  // namespace pimsim::des

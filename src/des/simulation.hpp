@@ -14,18 +14,27 @@
 // Determinism: two events scheduled for the same timestamp dispatch in
 // scheduling order, so a model that uses only Simulation-provided
 // primitives and pimsim::Rng streams is bit-reproducible.
+//
+// Internals (see README "Event kernel architecture"): events live in a
+// generation-tagged slot pool indexed by a 4-ary min-heap of
+// (time, seq, slot, generation).  Scheduling takes a pooled slot and one
+// heap push; cancel() bumps the slot's generation in O(1) and leaves a
+// stale heap entry behind, which dispatch skips lazily and a compaction
+// pass reclaims whenever stale entries outnumber live ones.  Callbacks
+// are EventAction tagged unions, so the coroutine-resume paths
+// (resume_soon / delay / mailbox wake-ups) never touch the heap
+// allocator.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
+#include "des/event_action.hpp"
 #include "des/trace.hpp"
 
 namespace pimsim::des {
@@ -33,6 +42,7 @@ namespace pimsim::des {
 class Process;
 
 /// Identifies a scheduled event so it can be cancelled before dispatch.
+/// Encodes (slot generation << 32 | slot index); stale ids never match.
 using EventId = std::uint64_t;
 /// Sentinel returned when no cancellable handle is needed.
 inline constexpr EventId kInvalidEvent = 0;
@@ -49,13 +59,27 @@ class Simulation {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `at` (>= now).
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_at(SimTime at, F&& fn) {
+    if constexpr (requires { static_cast<bool>(fn); }) {
+      ensure(static_cast<bool>(fn), "Simulation::schedule_at: empty callback");
+    }
+    return schedule_action(at, EventAction::wrap(std::forward<F>(fn)));
+  }
   /// Schedules `fn` to run after `delay` cycles.
-  EventId schedule_in(Cycles delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_in(Cycles delay, F&& fn) {
+    ensure(delay >= 0.0, "Simulation::schedule_in: negative delay");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
   /// Schedules `fn` to run at the current time, after pending same-time events.
-  EventId schedule_now(std::function<void()> fn);
+  template <typename F>
+  EventId schedule_now(F&& fn) {
+    return schedule_at(now_, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event; returns false if already dispatched/unknown.
+  /// O(1): the slot is reclaimed immediately, the calendar entry decays.
   bool cancel(EventId id);
 
   /// Runs until the event calendar is empty.
@@ -67,8 +91,16 @@ class Simulation {
 
   /// Number of events dispatched so far (diagnostic).
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
-  /// Number of events currently pending.
-  [[nodiscard]] std::size_t events_pending() const;
+  /// Number of live (schedulable, not cancelled) events currently pending.
+  [[nodiscard]] std::size_t events_pending() const { return live_events_; }
+  /// Calendar entries (heap + immediate lane), including stale ones
+  /// awaiting lazy removal.  Bounded at < 2x events_pending() +
+  /// compaction floor (leak diagnostic).
+  [[nodiscard]] std::size_t calendar_entries() const {
+    return heap_.size() + (now_queue_.size() - now_head_);
+  }
+  /// Stale (cancelled) calendar entries not yet compacted away.
+  [[nodiscard]] std::size_t stale_calendar_entries() const { return stale_; }
 
   /// Starts a coroutine process; the simulation owns its frame.
   /// The process body begins executing at the current simulation time
@@ -81,14 +113,29 @@ class Simulation {
   /// Installs (or removes, with nullptr) a tracer. Not owned.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
-  /// Emits a trace record if tracing is enabled.
+  /// Emits a trace record if tracing is enabled.  Inline so the
+  /// tracer-disabled case costs one predicted branch on the hot paths.
   void trace(TraceKind kind, const std::string& label,
-             const std::string& detail = {}) const;
+             const std::string& detail = {}) const {
+    if (tracer_) tracer_->record(TraceRecord{now_, kind, label, detail});
+  }
 
   // --- internal hooks used by the process layer (see process.hpp) ---
 
-  /// Schedules resumption of a suspended coroutine at now().
-  void resume_soon(std::coroutine_handle<> h);
+  /// Schedules resumption of a suspended coroutine at absolute time `at`.
+  /// Allocation-free: the calendar stores the raw handle.
+  EventId resume_at(SimTime at, std::coroutine_handle<> h) {
+    return schedule_action(at, EventAction::resume(h));
+  }
+  /// Schedules resumption after `delay` cycles (the delay() fast path).
+  EventId resume_in(Cycles delay, std::coroutine_handle<> h) {
+    ensure(delay >= 0.0, "Simulation::resume_in: negative delay");
+    return schedule_action(now_ + delay, EventAction::resume(h));
+  }
+  /// Schedules resumption at now(), after pending same-time events.
+  void resume_soon(std::coroutine_handle<> h) {
+    (void)schedule_action(now_, EventAction::resume(h));
+  }
   /// Registers/unregisters live process frames for cleanup.
   void register_process(std::coroutine_handle<> h);
   void unregister_process(std::coroutine_handle<> h);
@@ -96,32 +143,120 @@ class Simulation {
   void set_pending_exception(std::exception_ptr ep);
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    EventId id;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;  // FIFO among same-time events
-    }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Compaction is skipped below this calendar size: a bounded number of
+  /// stale entries is cheaper to skip at dispatch than to rebuild away.
+  static constexpr std::size_t kCompactFloor = 64;
+
+  struct Slot {
+    EventAction action;
+    std::uint32_t generation = 1;  // bumped on dispatch/cancel; never 0
+    std::uint32_t next_free = kNoSlot;
   };
 
-  void dispatch(const Event& ev);
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;   // global scheduling order: FIFO among same-time
+    std::uint32_t slot;
+    std::uint32_t gen;   // stale once != slots_[slot].generation
+  };
+
+  /// An event scheduled exactly at now(): lives in the immediate lane, a
+  /// FIFO ring that never pays a heap sift.  Always at time now_, ordered
+  /// by seq by construction.
+  struct NowEntry {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // The scheduling fast path is defined inline (below the class) so the
+  // resume_* hooks and template schedule_* compile down to a freelist pop,
+  // a tag store, and one queue push at every call site.
+  EventId schedule_action(SimTime at, EventAction action);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  bool pop_next(HeapEntry& out, bool bounded, SimTime horizon);
+  void dispatch(const HeapEntry& entry);
   void rethrow_pending();
+
+  // 4-ary implicit min-heap over heap_ (children of i: 4i+1 .. 4i+4).
+  void heap_push(const HeapEntry& entry);
+  void heap_pop_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void compact_calendar();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
-  // id -> callback; erased on dispatch or cancel. The indirection keeps
-  // cancellation O(1) without invalidating the heap.
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::size_t live_events_ = 0;
+  std::size_t stale_ = 0;
+  std::vector<HeapEntry> heap_;
+  // Immediate lane: [now_head_, now_queue_.size()) are pending; the
+  // consumed prefix is recycled whenever the lane drains.
+  std::vector<NowEntry> now_queue_;
+  std::size_t now_head_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   std::unordered_set<void*> live_;
   std::exception_ptr pending_exception_;
   Tracer* tracer_ = nullptr;
   bool destroying_ = false;
 };
+
+// --- inline scheduling fast path ----------------------------------------
+
+inline std::uint32_t Simulation::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  ensure(slots_.size() < kNoSlot, "Simulation: event slot pool exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+inline void Simulation::sift_up(std::size_t i) {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+inline void Simulation::heap_push(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+}
+
+inline EventId Simulation::schedule_action(SimTime at, EventAction action) {
+  ensure(at >= now_, "Simulation::schedule_at: cannot schedule in the past");
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.action = std::move(action);
+  const std::uint64_t seq = next_seq_++;
+  if (at == now_) {
+    // Immediate lane: same-time events (resume_soon, mailbox wake-ups,
+    // spawns) skip the heap entirely; FIFO order == seq order.
+    now_queue_.push_back(NowEntry{seq, index, slot.generation});
+  } else {
+    heap_push(HeapEntry{at, seq, index, slot.generation});
+  }
+  ++live_events_;
+  const EventId id = (static_cast<EventId>(slot.generation) << 32) |
+                     static_cast<EventId>(index);
+  if (tracer_) trace(TraceKind::kEventScheduled, "event", std::to_string(id));
+  return id;
+}
 
 }  // namespace pimsim::des

@@ -74,13 +74,17 @@ std::optional<Parcel> execute_action(const Parcel& parcel, MemoryStore& store,
   //  a result value to the originating source node, although this is not
   //  always necessary."
   if (!result.has_value()) return std::nullopt;
+  return make_reply(parcel, result);
+}
+
+Parcel make_reply(const Parcel& request, std::optional<std::uint64_t> result) {
   Parcel reply;
-  reply.src = parcel.dst;
-  reply.dst = parcel.continuation.node;
+  reply.src = request.dst;
+  reply.dst = request.continuation.node;
   reply.action = ActionKind::kReply;
-  reply.target_vaddr = parcel.target_vaddr;
-  reply.operands = {*result};
-  reply.continuation = parcel.continuation;
+  reply.target_vaddr = request.target_vaddr;
+  if (result.has_value()) reply.operands = {*result};
+  reply.continuation = request.continuation;
   return reply;
 }
 

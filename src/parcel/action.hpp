@@ -63,6 +63,13 @@ class ActionRegistry {
   std::unordered_map<std::uint32_t, Entry> methods_;
 };
 
+/// Builds the kReply parcel answering `request`'s continuation; `result`
+/// becomes the single operand when present (void actions acknowledge
+/// with an empty operand list).  The single home of the reply wire
+/// convention, shared by execute_action() and the runtime engine.
+[[nodiscard]] Parcel make_reply(const Parcel& request,
+                                std::optional<std::uint64_t> result);
+
 /// Executes `parcel`'s action against `store`.  Returns the reply parcel
 /// to send (kReply back to the continuation) if the action yields a value
 /// and the continuation names a node, otherwise std::nullopt.

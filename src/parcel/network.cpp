@@ -54,8 +54,13 @@ std::unique_ptr<Interconnect> make_interconnect(const std::string& kind,
     return std::make_unique<FlatInterconnect>(round_trip);
   }
   if (kind == "ring") {
-    // Mean one-way distance over uniform random pairs ~ nodes/2 hops.
-    const double mean_hops = static_cast<double>(nodes) / 2.0;
+    // Mean one-way distance over uniform random pairs (src and dst drawn
+    // independently, as the functional machine's address sharding does):
+    // forward hops are uniform over {0, ..., nodes-1}, so the mean is
+    // (nodes-1)/2 — not nodes/2, which understated per-hop latency,
+    // noticeably so for small rings.  This matches the mesh2d
+    // calibration convention below.
+    const double mean_hops = static_cast<double>(nodes - 1) / 2.0;
     const Cycles per_hop = (round_trip / 2.0) / std::max(mean_hops, 1.0);
     return std::make_unique<RingInterconnect>(nodes, 0.0, per_hop);
   }

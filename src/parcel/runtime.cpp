@@ -90,13 +90,39 @@ des::Process ParcelMachine::engine(Node& node, NodeId /*id*/) {
 
     co_await des::delay(sim_, costs_.dispatch + costs_.memory_access);
     ++node.stats.parcels_executed;
-    const auto reply = execute_action(parcel, node.store, registry_);
+    auto reply = execute_action(parcel, node.store, registry_);
     // Context 0 marks a posted (fire-and-forget) parcel: drop the result.
-    if (reply.has_value() && parcel.continuation.context != 0) {
+    if (parcel.continuation.context != 0) {
+      if (!reply.has_value()) {
+        // Void action with a waiting requester: acknowledge with an
+        // empty-operand reply so the split transaction always completes
+        // (a request() for a value-less action used to hang forever).
+        reply = make_reply(parcel, std::nullopt);
+      }
       co_await des::delay(sim_, costs_.reply_issue);
       ++node.stats.replies_returned;
       ship(*reply);
     }
+  }
+}
+
+void ParcelMachine::run(std::size_t extra_idle_processes) {
+  sim_.run();
+  if (!pending_.empty()) {
+    throw LogicError("ParcelMachine::run: simulation went idle with " +
+                     std::to_string(pending_.size()) +
+                     " request(s) still awaiting a reply (hung split "
+                     "transaction)");
+  }
+  // Engines (and declared extra idlers) legitimately park on their
+  // inboxes forever; anything beyond them is a driver that suspended
+  // and was never resumed.
+  const std::size_t expected_idle = nodes_.size() + extra_idle_processes;
+  if (sim_.live_processes() > expected_idle) {
+    throw LogicError(
+        "ParcelMachine::run: simulation went idle with " +
+        std::to_string(sim_.live_processes() - expected_idle) +
+        " driver process(es) still suspended (deadlocked model)");
   }
 }
 

@@ -98,6 +98,20 @@ class ParcelMachine {
   /// Issues a parcel with no reply expected (write/notify semantics).
   void post(NodeId src, Parcel parcel);
 
+  /// Runs the simulation until quiescent, then throws LogicError if any
+  /// request() is still awaiting its reply or any driver process beyond
+  /// the node engines is still suspended — a hang that sim.run() alone
+  /// would let exit silently.  If the Simulation hosts processes that
+  /// legitimately idle forever besides this machine's engines (another
+  /// ParcelMachine, an app-level server), pass their count so they are
+  /// not mistaken for stuck drivers.
+  void run(std::size_t extra_idle_processes = 0);
+
+  /// Requests issued via request() whose reply has not yet arrived.
+  [[nodiscard]] std::size_t outstanding_requests() const {
+    return pending_.size();
+  }
+
   /// Direct access to a node's memory shard (for setup/verification).
   [[nodiscard]] MemoryStore& store(NodeId node);
 
