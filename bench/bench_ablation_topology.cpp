@@ -1,12 +1,17 @@
 // Ablation B: interconnect topology.
 //
 // The paper's parcel study assumes a flat (fixed-delay) system-wide
-// latency.  This bench re-runs a Figure 11 slice under ring and 2-D mesh
-// interconnects calibrated to the same *mean* round trip, showing how far
-// the latency-hiding conclusions depend on the flat-latency assumption.
+// latency.  This bench re-runs a Figure 11 slice under ring, 2-D mesh,
+// and 2-D torus interconnects calibrated to the same *mean* round trip,
+// showing how far the latency-hiding conclusions depend on the
+// flat-latency assumption.  With contention=1 the analytic models are
+// replaced by the packet-level network (credit-based flow control, queued
+// links) of the same topology and zero-load calibration, so the table
+// also shows what link contention does to the work ratio.
 //
 // Usage: bench_ablation_topology [csv=1] [nodes=16] [horizon=30000]
-//                                [latency=500] [premote=0.2]
+//                                [latency=500] [premote=0.2] [contention=0]
+//                                [msgbytes=16]
 #include "bench_util.hpp"
 #include "parcel/system.hpp"
 
@@ -19,13 +24,16 @@ int main(int argc, char** argv) {
     base.round_trip_latency = cfg.get_double("latency", 500.0);
     base.p_remote = cfg.get_double("premote", 0.2);
     base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    base.contention = cfg.get_bool("contention", false);
+    base.message_bytes = static_cast<std::size_t>(cfg.get_int("msgbytes", 16));
 
     Table t("Ablation B: topology sensitivity (mean round trip " +
                 format_number(base.round_trip_latency) + " cycles, " +
-                std::to_string(base.nodes) + " nodes)",
+                std::to_string(base.nodes) + " nodes, " +
+                (base.contention ? "packet-level" : "analytic") + " network)",
             {"Network", "Parallelism", "work ratio", "test idle %",
              "control idle %"});
-    for (const char* network : {"flat", "ring", "mesh2d"}) {
+    for (const char* network : {"flat", "ring", "mesh2d", "torus"}) {
       for (std::int64_t par : {1, 4, 16, 32}) {
         parcel::SplitTransactionParams p = base;
         p.network = network;

@@ -7,6 +7,7 @@
 // Usage: bench_fig11 [csv=1] [nodes=8] [horizon=30000]
 //                    [latencies=10,50,100,200,500,1000,2000]
 //                    [remotes=0.02,0.05,0.1,0.2,0.5] [pars=1,2,4,8,16,32]
+//                    [network=flat] [contention=0]
 #include "bench_util.hpp"
 #include "core/figures.hpp"
 
@@ -19,6 +20,8 @@ int main(int argc, char** argv) {
     fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
     fig.base.t_switch = cfg.get_double("tswitch", fig.base.t_switch);
     fig.base.t_local = cfg.get_double("tlocal", fig.base.t_local);
+    fig.base.network = cfg.get_string("network", fig.base.network);
+    fig.base.contention = cfg.get_bool("contention", false);
     fig.latencies = cfg.get_list(
         "latencies", {10, 50, 100, 200, 500, 1000, 2000});
     fig.remote_fractions =

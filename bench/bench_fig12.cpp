@@ -6,6 +6,7 @@
 //
 // Usage: bench_fig12 [csv=1] [horizon=20000] [latency=200] [premote=0.1]
 //                    [sizes=1,2,4,8,16,32,64,128,256] [pars=1,2,4,8,16,32]
+//                    [network=flat] [contention=0]
 #include "bench_util.hpp"
 #include "core/figures.hpp"
 
@@ -17,6 +18,8 @@ int main(int argc, char** argv) {
     fig.base.round_trip_latency = cfg.get_double("latency", 200.0);
     fig.base.p_remote = cfg.get_double("premote", 0.1);
     fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    fig.base.network = cfg.get_string("network", fig.base.network);
+    fig.base.contention = cfg.get_bool("contention", false);
     std::vector<std::size_t> sizes;
     for (double s : cfg.get_list("sizes", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
       sizes.push_back(static_cast<std::size_t>(s));

@@ -26,6 +26,14 @@ class LogicError : public std::logic_error {
   explicit LogicError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// ConfigError for a value outside the accepted set; the message names the
+/// offending argument and enumerates the valid alternatives (e.g. the
+/// topology names a factory accepts).
+class InvalidArgument : public ConfigError {
+ public:
+  explicit InvalidArgument(const std::string& what) : ConfigError(what) {}
+};
+
 /// Validates a user-facing precondition; throws ConfigError on failure.
 /// The const char* overload keeps literal-message checks allocation-free
 /// on the success path (the message only becomes a std::string on throw);

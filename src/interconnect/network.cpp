@@ -1,0 +1,122 @@
+#include "interconnect/network.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pimsim::interconnect {
+
+PacketNetwork::PacketNetwork(des::Simulation& sim, Topology topology,
+                             PacketConfig config)
+    : sim_(sim),
+      topo_(std::move(topology)),
+      cfg_(config),
+      latency_hist_(0.0, config.hist_max, config.hist_bins) {
+  cfg_.validate();
+  links_.reserve(topo_.links().size());
+  for (std::uint32_t id = 0; id < topo_.links().size(); ++id) {
+    links_.push_back(std::make_unique<LinkState>(sim_, id, cfg_.credits));
+    sim_.spawn(link_worker(*links_.back(), id));
+  }
+}
+
+void PacketNetwork::send(NodeId src, NodeId dst, std::size_t bytes,
+                         std::function<void()> on_delivered) {
+  require(src < topo_.nodes() && dst < topo_.nodes(),
+          "PacketNetwork::send: node out of range");
+  auto packet = std::make_shared<Packet>();
+  packet->src = src;
+  packet->dst = dst;
+  packet->flits = flit_count(bytes, cfg_.flit_bytes);
+  packet->injected_at = sim_.now();
+  packet->on_delivered = std::move(on_delivered);
+  ++sent_;
+
+  const std::uint32_t first = topo_.next_link(topo_.attach(src), dst);
+  if (first == kNoLink) {
+    // Local delivery (src == dst on a direct topology): no network
+    // traversal; complete behind pending same-time events, mirroring the
+    // analytic models' schedule_in(0) behaviour.
+    sim_.schedule_now([this, packet] {
+      packet->arrived = packet->flits;
+      complete(*packet);
+    });
+    return;
+  }
+  // The NIC hands every flit to the first link's arbitration queue; the
+  // link's serializer paces them onto the wire at one per flit_cycle.
+  for (std::size_t i = 0; i < packet->flits; ++i) {
+    links_[first]->queue.send(Flit{packet, kNoLink});
+  }
+}
+
+Cycles PacketNetwork::zero_load_latency(NodeId src, NodeId dst,
+                                        std::size_t bytes) const {
+  return zero_load_cycles(topo_.hops(src, dst),
+                          flit_count(bytes, cfg_.flit_bytes), cfg_);
+}
+
+LinkStats PacketNetwork::link_stats(std::uint32_t link) const {
+  require(link < links_.size(), "PacketNetwork::link_stats: bad link id");
+  const LinkState& l = *links_[link];
+  LinkStats out;
+  out.flits = l.flits;
+  out.utilization = l.busy.mean(sim_.now());
+  out.mean_occupancy =
+      l.buffer.utilization() * static_cast<double>(l.buffer.capacity());
+  out.peak_occupancy = l.buffer.peak_in_use();
+  return out;
+}
+
+des::Process PacketNetwork::link_worker(LinkState& link, std::uint32_t id) {
+  while (true) {
+    Flit flit = co_await link.queue.receive();
+    // Credit-based flow control: claim a slot in the downstream input
+    // buffer before occupying the wire.  If the buffer is full the whole
+    // link stalls (head-of-line), propagating backpressure upstream.
+    co_await link.buffer.acquire();
+    link.busy.set(sim_.now(), 1.0);
+    co_await des::delay(sim_, cfg_.flit_cycle);
+    link.busy.set(sim_.now(), 0.0);
+    // The flit has left the upstream buffer: return its credit.
+    if (flit.held_buffer != kNoLink) {
+      links_[flit.held_buffer]->buffer.release();
+    }
+    ++link.flits;
+    ++flit_hops_;
+    sim_.schedule_in(cfg_.link_latency, [this, id, flit = std::move(flit)] {
+      arrive(id, flit);
+    });
+  }
+}
+
+void PacketNetwork::arrive(std::uint32_t link_id, Flit flit) {
+  flit.held_buffer = link_id;
+  const std::uint32_t router = topo_.links()[link_id].dst_router;
+  Packet& packet = *flit.packet;
+  if (router == topo_.attach(packet.dst)) {
+    // Ejection: the NIC consumes the flit immediately, freeing its credit.
+    links_[link_id]->buffer.release();
+    if (++packet.arrived == packet.flits) complete(packet);
+    return;
+  }
+  const std::uint32_t next = topo_.next_link(router, packet.dst);
+  ensure(next != kNoLink, "PacketNetwork: routing dead end");
+  if (cfg_.router_latency > 0.0) {
+    sim_.schedule_in(cfg_.router_latency, [this, next, flit = std::move(flit)] {
+      links_[next]->queue.send(flit);
+    });
+  } else {
+    links_[next]->queue.send(std::move(flit));
+  }
+}
+
+void PacketNetwork::complete(Packet& packet) {
+  const double latency = sim_.now() - packet.injected_at;
+  latency_.add(latency);
+  latency_hist_.add(latency);
+  ++delivered_;
+  if (packet.on_delivered) packet.on_delivered();
+}
+
+}  // namespace pimsim::interconnect

@@ -1,0 +1,128 @@
+// Discrete-event, packet-level interconnect model.
+//
+// Messages are segmented into flits (packet.hpp) and injected through the
+// source node's NIC into the topology's link graph (topology.hpp).  Each
+// directed link is a DES component: a FIFO arbitration queue, a wire that
+// serializes one flit per flit_cycle, and a credit-counted input buffer at
+// its downstream router.  A flit may start crossing a link only when the
+// wire is free AND a downstream buffer slot (credit) is available, so a
+// congested router backpressures its upstream links hop by hop — the
+// contention the analytic latency models assume away.
+//
+// The model is deterministic: routing is table-driven, all queues are
+// FIFO, and the event kernel dispatches same-time events in scheduling
+// order, so repeated runs of the same traffic are bit-identical.
+//
+// Known limitation (documented, acceptable for the ablation studies): no
+// virtual channels/datelines, so the wrap cycles of ring/torus topologies
+// can deadlock at sustained injection beyond saturation.  packets_in_flight()
+// exposes undrained traffic so harnesses can detect this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "des/mailbox.hpp"
+#include "des/process.hpp"
+#include "des/resource.hpp"
+#include "des/simulation.hpp"
+#include "interconnect/packet.hpp"
+#include "interconnect/topology.hpp"
+
+namespace pimsim::interconnect {
+
+/// Aggregate statistics of one directed link.
+struct LinkStats {
+  std::uint64_t flits = 0;       ///< flits carried
+  double utilization = 0.0;      ///< busy fraction of the wire
+  double mean_occupancy = 0.0;   ///< mean downstream buffer occupancy (flits)
+  double peak_occupancy = 0.0;   ///< peak downstream buffer occupancy (flits)
+};
+
+class PacketNetwork {
+ public:
+  /// Spawns one worker process per link into `sim` (they idle on their
+  /// arbitration queues for the simulation's lifetime).
+  PacketNetwork(des::Simulation& sim, Topology topology,
+                PacketConfig config = {});
+
+  PacketNetwork(const PacketNetwork&) = delete;
+  PacketNetwork& operator=(const PacketNetwork&) = delete;
+
+  /// Injects a `bytes`-byte message from src to dst; `on_delivered` (may
+  /// be empty) fires when the last flit is consumed at the destination.
+  void send(NodeId src, NodeId dst, std::size_t bytes,
+            std::function<void()> on_delivered = {});
+
+  /// Contention-free end-to-end latency of a `bytes`-byte message (the
+  /// closed form from PacketConfig; assumes credits never stall the
+  /// pipeline, which holds on an otherwise idle path with enough credits).
+  [[nodiscard]] Cycles zero_load_latency(NodeId src, NodeId dst,
+                                         std::size_t bytes) const;
+
+  // --- statistics -------------------------------------------------------
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t packets_in_flight() const {
+    return sent_ - delivered_;
+  }
+  /// Total link traversals completed by flits (the bench's work unit).
+  [[nodiscard]] std::uint64_t flit_hops() const { return flit_hops_; }
+  [[nodiscard]] LinkStats link_stats(std::uint32_t link) const;
+  /// End-to-end delivered-packet latency, in cycles.
+  [[nodiscard]] const RunningStats& latency_stats() const { return latency_; }
+  [[nodiscard]] const Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const PacketConfig& config() const { return cfg_; }
+
+ private:
+  struct Packet {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::size_t flits = 1;
+    std::size_t arrived = 0;
+    SimTime injected_at = 0.0;
+    std::function<void()> on_delivered;
+  };
+
+  /// One flow-control unit in flight.  `held_buffer` is the link whose
+  /// downstream buffer slot the flit currently occupies (kNoLink while
+  /// still in the source NIC).
+  struct Flit {
+    std::shared_ptr<Packet> packet;
+    std::uint32_t held_buffer = kNoLink;
+  };
+
+  struct LinkState {
+    LinkState(des::Simulation& sim, std::uint32_t id, std::size_t credits)
+        : queue(sim, "link" + std::to_string(id) + ".q"),
+          buffer(sim, credits, "link" + std::to_string(id) + ".buf") {}
+    des::Mailbox<Flit> queue;  ///< flits waiting to cross (FIFO arbitration)
+    des::Resource buffer;      ///< downstream input-buffer credits
+    TimeWeighted busy;         ///< wire occupancy
+    std::uint64_t flits = 0;
+  };
+
+  des::Process link_worker(LinkState& link, std::uint32_t id);
+  void arrive(std::uint32_t link_id, Flit flit);
+  void complete(Packet& packet);
+
+  des::Simulation& sim_;
+  Topology topo_;
+  PacketConfig cfg_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t flit_hops_ = 0;
+  RunningStats latency_;
+  Histogram latency_hist_;
+};
+
+}  // namespace pimsim::interconnect

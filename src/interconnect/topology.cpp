@@ -1,0 +1,205 @@
+#include "interconnect/topology.hpp"
+
+#include "common/error.hpp"
+#include "parcel/network.hpp"
+
+namespace pimsim::interconnect {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFlat: return "flat";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh2D: return "mesh2d";
+    case TopologyKind::kTorus2D: return "torus2d";
+  }
+  return "?";
+}
+
+std::uint32_t Topology::next_link(std::uint32_t router, NodeId dst) const {
+  require(router < routers_, "Topology::next_link: router out of range");
+  require(dst < nodes_, "Topology::next_link: node out of range");
+  return route_[router * nodes_ + dst];
+}
+
+std::size_t Topology::hops(NodeId src, NodeId dst) const {
+  require(src < nodes_ && dst < nodes_, "Topology::hops: node out of range");
+  // Walk the routing table exactly as a head flit would; arrival at
+  // attach(dst) after >= 1 link ejects, so the flat self-route (through
+  // the crossbar and back) counts its two links.
+  std::uint32_t router = attach(src);
+  std::size_t count = 0;
+  while (!(router == attach(dst) &&
+           (count > 0 || route_[router * nodes_ + dst] == kNoLink))) {
+    const std::uint32_t link = route_[router * nodes_ + dst];
+    ensure(link != kNoLink, "Topology::hops: routing dead end");
+    router = links_[link].dst_router;
+    ++count;
+    ensure(count <= routers_ + 1, "Topology::hops: routing loop");
+  }
+  return count;
+}
+
+namespace {
+
+std::uint32_t add_link(std::vector<Link>& links, std::uint32_t src,
+                       std::uint32_t dst) {
+  links.push_back(Link{src, dst});
+  return static_cast<std::uint32_t>(links.size() - 1);
+}
+
+}  // namespace
+
+Topology TopologyBuilder::flat(std::size_t nodes) {
+  require(nodes > 0, "TopologyBuilder::flat: need at least one node");
+  Topology t;
+  t.kind_ = TopologyKind::kFlat;
+  t.nodes_ = nodes;
+  t.routers_ = nodes + 1;  // node routers 0..n-1 plus the crossbar at n
+  const auto crossbar = static_cast<std::uint32_t>(nodes);
+  // Uplinks 0..n-1, downlinks n..2n-1.
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    add_link(t.links_, i, crossbar);
+  }
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    add_link(t.links_, crossbar, i);
+  }
+  t.route_.assign(t.routers_ * nodes, kNoLink);
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    for (NodeId d = 0; d < nodes; ++d) {
+      t.route_[r * nodes + d] = r;  // every packet goes up to the crossbar
+    }
+  }
+  for (NodeId d = 0; d < nodes; ++d) {
+    t.route_[crossbar * nodes + d] = static_cast<std::uint32_t>(nodes + d);
+  }
+  return t;
+}
+
+Topology TopologyBuilder::ring(std::size_t nodes) {
+  require(nodes > 0, "TopologyBuilder::ring: need at least one node");
+  Topology t;
+  t.kind_ = TopologyKind::kRing;
+  t.nodes_ = nodes;
+  t.routers_ = nodes;
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    add_link(t.links_, i, static_cast<std::uint32_t>((i + 1) % nodes));
+  }
+  t.route_.assign(nodes * nodes, kNoLink);
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    for (NodeId d = 0; d < nodes; ++d) {
+      if (r != d) t.route_[r * nodes + d] = r;  // forward link of router r
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Per-router channel directions of the grid topologies.
+enum Dir : std::size_t { kXPos = 0, kXNeg = 1, kYPos = 2, kYNeg = 3 };
+
+}  // namespace
+
+/// Shared mesh/torus construction: per-router directed channels in up to
+/// four directions, dimension-ordered (X then Y) routing.
+Topology TopologyBuilder::grid(TopologyKind kind, std::size_t width,
+                               std::size_t height) {
+  require(width > 0 && height > 0, "TopologyBuilder: empty grid");
+  const bool wrap = kind == TopologyKind::kTorus2D;
+  const std::size_t nodes = width * height;
+  Topology t;
+  t.kind_ = kind;
+  t.nodes_ = nodes;
+  t.routers_ = nodes;
+  t.width_ = width;
+  t.height_ = height;
+
+  // dir_links[router][dir]: outgoing channel per direction, if it exists.
+  // On a wrap dimension of size 2 the forward and backward channel would
+  // duplicate each other; only the forward one is built (routing always
+  // prefers it on distance ties anyway).
+  std::vector<std::uint32_t> dir_links(nodes * 4, kNoLink);
+  auto router_at = [&](std::size_t x, std::size_t y) {
+    return static_cast<std::uint32_t>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::uint32_t r = router_at(x, y);
+      if (x + 1 < width) {
+        dir_links[r * 4 + kXPos] = add_link(t.links_, r, router_at(x + 1, y));
+      } else if (wrap && width > 1) {
+        dir_links[r * 4 + kXPos] = add_link(t.links_, r, router_at(0, y));
+      }
+      if (x > 0 && !(wrap && width == 2)) {
+        dir_links[r * 4 + kXNeg] = add_link(t.links_, r, router_at(x - 1, y));
+      } else if (wrap && width > 2) {
+        dir_links[r * 4 + kXNeg] =
+            add_link(t.links_, r, router_at(width - 1, y));
+      }
+      if (y + 1 < height) {
+        dir_links[r * 4 + kYPos] = add_link(t.links_, r, router_at(x, y + 1));
+      } else if (wrap && height > 1) {
+        dir_links[r * 4 + kYPos] = add_link(t.links_, r, router_at(x, 0));
+      }
+      if (y > 0 && !(wrap && height == 2)) {
+        dir_links[r * 4 + kYNeg] = add_link(t.links_, r, router_at(x, y - 1));
+      } else if (wrap && height > 2) {
+        dir_links[r * 4 + kYNeg] =
+            add_link(t.links_, r, router_at(x, height - 1));
+      }
+    }
+  }
+
+  // Dimension-ordered routing; on the torus each dimension moves in its
+  // shortest wrap direction, preferring positive on ties.
+  auto step_dir = [&](std::size_t from, std::size_t to,
+                      std::size_t size) -> std::size_t {
+    const std::size_t fwd = (to + size - from) % size;
+    const std::size_t bwd = (from + size - to) % size;
+    if (!wrap) return to > from ? kXPos : kXNeg;  // caller offsets for Y
+    return fwd <= bwd ? kXPos : kXNeg;
+  };
+  t.route_.assign(nodes * nodes, kNoLink);
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    const std::size_t x = r % width;
+    const std::size_t y = r / width;
+    for (NodeId d = 0; d < nodes; ++d) {
+      const std::size_t dx = d % width;
+      const std::size_t dy = d / width;
+      std::size_t dir;
+      if (x != dx) {
+        dir = step_dir(x, dx, width);  // kXPos or kXNeg
+      } else if (y != dy) {
+        dir = step_dir(y, dy, height) + 2;  // shift to kYPos/kYNeg
+      } else {
+        continue;  // local: kNoLink
+      }
+      const std::uint32_t link = dir_links[r * 4 + dir];
+      ensure(link != kNoLink, "TopologyBuilder: missing grid channel");
+      t.route_[r * nodes + d] = link;
+    }
+  }
+  return t;
+}
+
+Topology TopologyBuilder::mesh2d(std::size_t width, std::size_t height) {
+  return grid(TopologyKind::kMesh2D, width, height);
+}
+
+Topology TopologyBuilder::torus2d(std::size_t width, std::size_t height) {
+  return grid(TopologyKind::kTorus2D, width, height);
+}
+
+Topology TopologyBuilder::build(const std::string& kind, std::size_t nodes) {
+  require(nodes > 0, "TopologyBuilder::build: need at least one node");
+  if (kind == "flat") return flat(nodes);
+  if (kind == "ring") return ring(nodes);
+  if (kind == "mesh2d" || kind == "torus" || kind == "torus2d") {
+    const std::size_t width = parcel::square_grid_side(kind, nodes);
+    return kind == "mesh2d" ? mesh2d(width, width) : torus2d(width, width);
+  }
+  throw InvalidArgument("TopologyBuilder::build: unknown topology '" + kind +
+                        "'; valid topologies are flat, ring, mesh2d, torus");
+}
+
+}  // namespace pimsim::interconnect

@@ -1,0 +1,105 @@
+// Network topologies for the packet-level interconnect.
+//
+// A Topology is a directed graph of routers and links plus a deterministic
+// routing table.  Every PIM node attaches to one router (identity mapping;
+// the flat/crossbar topology adds one extra central router all nodes hang
+// off).  Routing is table-driven and minimal:
+//
+//   flat     star through a single crossbar router: every path is exactly
+//            two links (node -> crossbar -> node), so contention appears
+//            only at the ejection link — the closest packet-level analogue
+//            of the paper's flat (fixed-delay) model;
+//   ring     unidirectional, forward routing (matches RingInterconnect);
+//   mesh2d   dimension-ordered X-then-Y routing (matches Mesh2DInterconnect);
+//   torus2d  dimension-ordered with per-dimension shortest wrap direction,
+//            ties broken toward the positive direction (deterministic).
+//
+// TopologyBuilder constructs the graphs; build(kind, nodes) resolves the
+// same topology names the analytic make_interconnect factory accepts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parcel/parcel.hpp"
+
+namespace pimsim::interconnect {
+
+using parcel::NodeId;
+
+/// Sentinel link id: no link (local delivery / routing table "eject here").
+inline constexpr std::uint32_t kNoLink = 0xffffffffu;
+
+enum class TopologyKind : std::uint8_t { kFlat, kRing, kMesh2D, kTorus2D };
+
+[[nodiscard]] const char* to_string(TopologyKind kind);
+
+/// A directed channel between two routers.
+struct Link {
+  std::uint32_t src_router = 0;
+  std::uint32_t dst_router = 0;
+};
+
+class Topology {
+ public:
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] const char* name() const { return to_string(kind_); }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t routers() const { return routers_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  /// Grid extents; 0 for non-grid topologies.
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+
+  /// Router a node's NIC attaches to.
+  [[nodiscard]] std::uint32_t attach(NodeId node) const {
+    return static_cast<std::uint32_t>(node);
+  }
+
+  /// Next link on the route from `router` toward node `dst`; kNoLink when
+  /// the packet should be injected/ejected locally.  A flit that has
+  /// traversed at least one link ejects whenever it reaches attach(dst)
+  /// (on the flat topology the routing table sends a freshly injected
+  /// self-addressed flit through the crossbar, like every other flit).
+  [[nodiscard]] std::uint32_t next_link(std::uint32_t router, NodeId dst) const;
+
+  /// Number of links on the route from src to dst (0 for local delivery).
+  [[nodiscard]] std::size_t hops(NodeId src, NodeId dst) const;
+
+ private:
+  friend class TopologyBuilder;
+
+  TopologyKind kind_ = TopologyKind::kFlat;
+  std::size_t nodes_ = 0;
+  std::size_t routers_ = 0;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<Link> links_;
+  std::vector<std::uint32_t> route_;  ///< routers x nodes -> link id
+};
+
+class TopologyBuilder {
+ public:
+  /// Star through one central crossbar router; every path is two links.
+  [[nodiscard]] static Topology flat(std::size_t nodes);
+  /// Unidirectional ring: link i connects router i to router (i+1) % n.
+  [[nodiscard]] static Topology ring(std::size_t nodes);
+  /// width x height grid, row-major node layout, bidirectional channels.
+  [[nodiscard]] static Topology mesh2d(std::size_t width, std::size_t height);
+  /// Mesh plus wrap-around channels in both dimensions.
+  [[nodiscard]] static Topology torus2d(std::size_t width, std::size_t height);
+
+  /// Builds by the analytic factory's topology names (flat, ring, mesh2d,
+  /// torus); grid topologies require a square node count.  Throws
+  /// InvalidArgument for unknown names, listing the valid ones.
+  [[nodiscard]] static Topology build(const std::string& kind,
+                                      std::size_t nodes);
+
+ private:
+  static Topology grid(TopologyKind kind, std::size_t width,
+                       std::size_t height);
+};
+
+}  // namespace pimsim::interconnect

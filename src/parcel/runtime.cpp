@@ -65,10 +65,14 @@ std::uint64_t ParcelMachine::total_bytes_on_wire() const {
 
 void ParcelMachine::ship(Parcel parcel) {
   auto bytes = serialize(parcel);
-  nodes_[parcel.src]->stats.bytes_sent += bytes.size();
+  const std::size_t wire_bytes = bytes.size();
+  nodes_[parcel.src]->stats.bytes_sent += wire_bytes;
   auto* inbox = nodes_[parcel.dst]->inbox.get();
-  sim_.schedule_in(net_.one_way_latency(parcel.src, parcel.dst),
-                   [inbox, bytes = std::move(bytes)] { inbox->send(bytes); });
+  // The interconnect seam: analytic models schedule the arrival after
+  // their closed-form latency; the packet-level model segments the wire
+  // image into flits and delivers when the last one lands.
+  net_.deliver(sim_, parcel.src, parcel.dst, wire_bytes,
+               [inbox, bytes = std::move(bytes)] { inbox->send(bytes); });
 }
 
 des::Process ParcelMachine::engine(Node& node, NodeId /*id*/) {
@@ -115,9 +119,11 @@ void ParcelMachine::run(std::size_t extra_idle_processes) {
                      "transaction)");
   }
   // Engines (and declared extra idlers) legitimately park on their
-  // inboxes forever; anything beyond them is a driver that suspended
-  // and was never resumed.
-  const std::size_t expected_idle = nodes_.size() + extra_idle_processes;
+  // inboxes forever, as do any worker processes the interconnect model
+  // itself spawned (a packet-level network parks one per link); anything
+  // beyond them is a driver that suspended and was never resumed.
+  const std::size_t expected_idle =
+      nodes_.size() + extra_idle_processes + net_.idle_processes();
   if (sim_.live_processes() > expected_idle) {
     throw LogicError(
         "ParcelMachine::run: simulation went idle with " +

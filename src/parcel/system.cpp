@@ -8,6 +8,7 @@
 #include "des/process.hpp"
 #include "des/resource.hpp"
 #include "des/simulation.hpp"
+#include "interconnect/contention.hpp"
 
 namespace pimsim::parcel {
 
@@ -23,6 +24,7 @@ void SplitTransactionParams::validate() const {
   require(round_trip_latency >= 0.0,
           "SplitTransactionParams: latency must be non-negative");
   require(nic_gap >= 0.0, "SplitTransactionParams: nic_gap must be >= 0");
+  require(message_bytes > 0, "SplitTransactionParams: message_bytes must be >= 1");
   require(horizon > 0.0, "SplitTransactionParams: horizon must be positive");
 }
 
@@ -85,23 +87,27 @@ struct ControlNode {
 };
 
 /// Ships a message: serializes through the sender's NIC when nic_gap > 0,
-/// then arrives after the network latency.  With nic_gap == 0 the direct
-/// path preserves the paper's infinite-bandwidth model (and the event
-/// ordering of existing seeds).
+/// then hands it to the interconnect's deliver() seam — the analytic
+/// models schedule arrival after their closed-form latency (preserving
+/// the paper's infinite-bandwidth model and the event ordering of
+/// existing seeds); the packet-level model routes flits through its
+/// simulated network instead.
 des::Process inject(des::Simulation& sim, des::Resource& nic, Cycles gap,
-                    Cycles latency, std::function<void()> arrive) {
+                    const Interconnect& net, NodeId src, NodeId dst,
+                    std::size_t bytes, std::function<void()> arrive) {
   co_await nic.acquire();
   co_await des::delay(sim, gap);
   nic.release();
-  sim.schedule_in(latency, std::move(arrive));
+  net.deliver(sim, src, dst, bytes, std::move(arrive));
 }
 
-void ship(des::Simulation& sim, des::Resource& nic, Cycles gap, Cycles latency,
+void ship(des::Simulation& sim, des::Resource& nic, Cycles gap,
+          const Interconnect& net, NodeId src, NodeId dst, std::size_t bytes,
           std::function<void()> arrive) {
   if (gap <= 0.0) {
-    sim.schedule_in(latency, std::move(arrive));
+    net.deliver(sim, src, dst, bytes, std::move(arrive));
   } else {
-    sim.spawn(inject(sim, nic, gap, latency, std::move(arrive)));
+    sim.spawn(inject(sim, nic, gap, net, src, dst, bytes, std::move(arrive)));
   }
 }
 
@@ -187,15 +193,15 @@ class MessagePassingSystem {
     n.memory.release();
     ++n.stats.accesses_served;
     // Return the reply over the network; it unblocks the requester.
-    const Cycles lat = net_.one_way_latency(n.id, msg.src);
     des::Trigger* reply = msg.reply;
-    ship(sim_, n.nic, p_.nic_gap, lat, [reply] { reply->fire(); });
+    ship(sim_, n.nic, p_.nic_gap, net_, n.id, msg.src, p_.message_bytes,
+         [reply] { reply->fire(); });
   }
 
   void deliver(NodeId src, NodeId dst, SimMessage msg) {
-    const Cycles lat = net_.one_way_latency(src, dst);
     auto* box = &nodes_[dst]->incoming;
-    ship(sim_, nodes_[src]->nic, p_.nic_gap, lat, [box, msg] { box->send(msg); });
+    ship(sim_, nodes_[src]->nic, p_.nic_gap, net_, src, dst, p_.message_bytes,
+         [box, msg] { box->send(msg); });
   }
 
   SplitTransactionParams p_;
@@ -320,15 +326,15 @@ class SplitTransactionSystem {
     n.stats.mem_cycles += p_.t_local;
     n.cpu.release();
     ++n.stats.accesses_served;
-    const Cycles lat = net_.one_way_latency(n.id, msg.src);
     des::Trigger* reply = msg.reply;
-    ship(sim_, n.nic, p_.nic_gap, lat, [reply] { reply->fire(); });
+    ship(sim_, n.nic, p_.nic_gap, net_, n.id, msg.src, p_.message_bytes,
+         [reply] { reply->fire(); });
   }
 
   void deliver(NodeId src, NodeId dst, SimMessage msg) {
-    const Cycles lat = net_.one_way_latency(src, dst);
     auto* box = &nodes_[dst]->incoming;
-    ship(sim_, nodes_[src]->nic, p_.nic_gap, lat, [box, msg] { box->send(msg); });
+    ship(sim_, nodes_[src]->nic, p_.nic_gap, net_, src, dst, p_.message_bytes,
+         [box, msg] { box->send(msg); });
   }
 
   SplitTransactionParams p_;
@@ -338,6 +344,12 @@ class SplitTransactionSystem {
 };
 
 std::unique_ptr<Interconnect> default_net(const SplitTransactionParams& p) {
+  if (p.contention) {
+    // Same topology, calibrated to the same zero-load latencies — the
+    // packet model binds itself to the run's Simulation on first use.
+    return interconnect::make_contention_interconnect(p.network, p.nodes,
+                                                      p.round_trip_latency);
+  }
   return make_interconnect(p.network, p.nodes, p.round_trip_latency);
 }
 

@@ -38,13 +38,25 @@ struct SplitTransactionParams {
   Cycles round_trip_latency = 100.0;  ///< the swept system-wide latency L
   double horizon = 50'000.0;     ///< simulated cycles per run
   std::uint64_t seed = 1;
-  std::string network = "flat";  ///< flat | ring | mesh2d (ablation)
+  std::string network = "flat";  ///< flat | ring | mesh2d | torus (ablation)
 
   /// Injection serialization (bandwidth ablation): every message a node
   /// sends occupies its network interface for this many cycles before
   /// entering the (otherwise contention-free) network.  0 reproduces the
   /// paper's infinite-bandwidth assumption.
   Cycles nic_gap = 0.0;
+
+  /// The contention knob: false runs the analytic (closed-form latency)
+  /// interconnect the paper assumes; true replaces it with the
+  /// packet-level model (interconnect/contention.hpp) of the same
+  /// topology, calibrated to the same zero-load latencies, so link and
+  /// router contention shows up in every figure that sweeps `network`.
+  bool contention = false;
+
+  /// Wire size of one request/reply message; only the packet-level model
+  /// reads it (flit segmentation).  The analytic models are
+  /// byte-size-independent, matching the paper.
+  std::size_t message_bytes = 16;
 
   void validate() const;
 };

@@ -57,6 +57,62 @@ TEST(Mesh2D, SymmetricDistances) {
   }
 }
 
+TEST(RingInterconnect, SelfAndWrapAround) {
+  RingInterconnect net(6, 1.5, 2.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(3, 3), 1.5);  // src == dst: base only
+  // Wrap-around: 5 -> 2 crosses the seam in 3 forward hops.
+  EXPECT_DOUBLE_EQ(net.one_way_latency(5, 2), 1.5 + 3 * 2.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(2, 5), 1.5 + 3 * 2.0);
+}
+
+TEST(RingInterconnect, RoundTripIsSymmetricAndConstant) {
+  // One-way distances are asymmetric (unidirectional ring), but forward
+  // plus return always circles the whole ring: round trips are symmetric
+  // and identical for every distinct pair.
+  RingInterconnect net(7, 0.0, 3.0);
+  for (NodeId a = 0; a < 7; ++a) {
+    for (NodeId b = 0; b < 7; ++b) {
+      EXPECT_DOUBLE_EQ(net.round_trip_latency(a, b),
+                       net.round_trip_latency(b, a));
+      if (a != b) {
+        EXPECT_DOUBLE_EQ(net.round_trip_latency(a, b), 7 * 3.0);
+      }
+    }
+  }
+}
+
+TEST(Mesh2D, NonSquareGridAndSelf) {
+  // 4 wide x 2 tall, row-major: node 7 is (x=3, y=1).
+  Mesh2DInterconnect net(4, 2, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 7), 1.0 + 4 * 2.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(3, 4), 1.0 + 4 * 2.0);
+  EXPECT_DOUBLE_EQ(net.one_way_latency(5, 5), 1.0);  // src == dst: base only
+  EXPECT_DOUBLE_EQ(net.round_trip_latency(0, 7), net.round_trip_latency(7, 0));
+}
+
+TEST(Torus2D, WrapAroundDistances) {
+  // 4x4 torus: each dimension takes the shorter way around.
+  Torus2DInterconnect net(4, 4, 1.0, 2.0);
+  EXPECT_STREQ(net.name(), "torus");
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 3), 1.0 + 1 * 2.0);   // wrap: 1 hop
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 15), 1.0 + 2 * 2.0);  // corner: 1+1
+  EXPECT_DOUBLE_EQ(net.one_way_latency(0, 2), 1.0 + 2 * 2.0);   // tie: 2 hops
+  EXPECT_DOUBLE_EQ(net.one_way_latency(5, 5), 1.0);  // src == dst: base only
+}
+
+TEST(Torus2D, RoundTripSymmetryAndMeshUpperBound) {
+  Torus2DInterconnect torus(4, 4, 0.0, 1.0);
+  Mesh2DInterconnect mesh(4, 4, 0.0, 1.0);
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      EXPECT_DOUBLE_EQ(torus.round_trip_latency(a, b),
+                       torus.round_trip_latency(b, a));
+      // Wrapping can only shorten a path.
+      EXPECT_LE(torus.one_way_latency(a, b), mesh.one_way_latency(a, b));
+    }
+  }
+}
+
 TEST(MakeInterconnect, FlatByName) {
   auto net = make_interconnect("flat", 16, 200.0);
   EXPECT_STREQ(net->name(), "flat");
@@ -64,10 +120,10 @@ TEST(MakeInterconnect, FlatByName) {
 }
 
 TEST(MakeInterconnect, CalibratedMeanRoundTrip) {
-  // Ring and mesh variants are calibrated so the mean round trip over
-  // uniform random pairs is close to the requested latency.
+  // Ring, mesh, and torus variants are calibrated so the mean round trip
+  // over uniform random pairs is close to the requested latency.
   Rng rng(3);
-  for (const char* kind : {"ring", "mesh2d"}) {
+  for (const char* kind : {"ring", "mesh2d", "torus"}) {
     auto net = make_interconnect(kind, 16, 200.0);
     double sum = 0.0;
     const int trials = 20000;
@@ -80,9 +136,30 @@ TEST(MakeInterconnect, CalibratedMeanRoundTrip) {
   }
 }
 
+TEST(MakeInterconnect, TorusByName) {
+  auto net = make_interconnect("torus", 16, 200.0);
+  EXPECT_STREQ(net->name(), "torus");
+  // Calibration: mean wrapped hops on a 4x4 torus is 2*floor(16/4)/4 = 2,
+  // so per_hop = 100/2 = 50 and the 1-hop wrap neighbour costs 50.
+  EXPECT_DOUBLE_EQ(net->one_way_latency(0, 3), 50.0);
+}
+
 TEST(MakeInterconnect, RejectsUnknownKindAndBadGeometry) {
-  EXPECT_THROW(make_interconnect("torus", 16, 100.0), ConfigError);
-  EXPECT_THROW(make_interconnect("mesh2d", 10, 100.0), ConfigError);  // not square
+  // Unknown names raise InvalidArgument (a ConfigError) listing every
+  // valid topology so the ablation CLI fails with an actionable message.
+  try {
+    (void)make_interconnect("hypercube", 16, 100.0);
+    FAIL() << "make_interconnect accepted 'hypercube'";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    for (const char* kind : {"flat", "ring", "mesh2d", "torus"}) {
+      EXPECT_NE(msg.find(kind), std::string::npos) << msg;
+    }
+  }
+  // Grid kinds validate width * height == nodes.
+  EXPECT_THROW(make_interconnect("mesh2d", 10, 100.0), InvalidArgument);
+  EXPECT_THROW(make_interconnect("torus", 12, 100.0), InvalidArgument);
+  EXPECT_THROW(make_interconnect("mesh2d", 10, 100.0), ConfigError);
 }
 
 }  // namespace
