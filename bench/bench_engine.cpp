@@ -16,12 +16,13 @@
 //
 // Usage: bench_engine [events=200000] [reps=5] [csv=1]
 //                     [json=BENCH_engine.json]   (json=- disables)
+//                     [floors=bench/baselines.json]  (perf guard)
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -187,6 +188,7 @@ int main(int argc, char** argv) {
     const std::int64_t events_arg = cfg.get_int("events", 200'000);
     const std::int64_t reps_arg = cfg.get_int("reps", 5);
     const std::string json_path = cfg.get_string("json", "BENCH_engine.json");
+    const std::string floors_path = cfg.get_string("floors", "");
     require(events_arg >= 1024 && reps_arg >= 1,
             "bench_engine: bad events=/reps=");
     const auto events = static_cast<std::uint64_t>(events_arg);
@@ -238,25 +240,22 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
 
-    if (json_path != "-") {
-      std::ofstream out(json_path);
-      require(out.good(), "bench_engine: cannot open json output");
-      out << "{\n  \"bench\": \"engine\",\n  \"events_per_run\": " << events
-          << ",\n  \"reps\": " << reps << ",\n  \"workloads\": [\n";
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& r = results[i];
-        out << "    {\"name\": \"" << r.name << "\", \"best_events_per_sec\": "
-            << r.best().events_per_sec() << ", \"trajectory\": [";
-        for (std::size_t j = 0; j < r.samples.size(); ++j) {
-          out << (j ? ", " : "") << "{\"events\": " << r.samples[j].events
-              << ", \"seconds\": " << r.samples[j].seconds
-              << ", \"events_per_sec\": " << r.samples[j].events_per_sec()
-              << "}";
-        }
-        out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    std::vector<bench::BenchCell> cells;
+    for (const auto& r : results) {
+      bench::BenchCell cell{r.name, {}};
+      for (const Sample& s : r.samples) {
+        cell.runs.push_back(bench::BenchRun{s.events, s.seconds});
       }
-      out << "  ]\n}\n";
-      std::cerr << "# wrote " << json_path << "\n";
+      cells.push_back(std::move(cell));
+    }
+    if (json_path != "-") {
+      const std::string header = "\"events_per_run\": " +
+                                 std::to_string(events) +
+                                 ", \"reps\": " + std::to_string(reps) + ",";
+      bench::write_bench_json(json_path, "engine", "events", header, cells);
+    }
+    if (!floors_path.empty()) {
+      return bench::check_floors(floors_path, "engine", cells);
     }
     return 0;
   } catch (const std::exception& e) {

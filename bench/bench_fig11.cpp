@@ -7,7 +7,14 @@
 // Usage: bench_fig11 [csv=1] [nodes=8] [horizon=30000]
 //                    [latencies=10,50,100,200,500,1000,2000]
 //                    [remotes=0.02,0.05,0.1,0.2,0.5] [pars=1,2,4,8,16,32]
-//                    [network=flat] [contention=0]
+//                    [network=flat] [contention=0] [bytes=16]
+//
+// contention=1 swaps the analytic interconnect for the packet-level
+// model (one simulated network per sweep point, fanned out through
+// SweepRunner); bytes= sets the wire size of each request/reply so the
+// flit count — and therefore network load — scales with it.  The
+// generation time printed on stderr is the timed mode's deliverable:
+// full-figure contention sweeps complete in seconds.
 #include "bench_util.hpp"
 #include "core/figures.hpp"
 
@@ -22,6 +29,8 @@ int main(int argc, char** argv) {
     fig.base.t_local = cfg.get_double("tlocal", fig.base.t_local);
     fig.base.network = cfg.get_string("network", fig.base.network);
     fig.base.contention = cfg.get_bool("contention", false);
+    fig.base.message_bytes = static_cast<std::size_t>(
+        cfg.get_int("bytes", static_cast<std::int64_t>(fig.base.message_bytes)));
     fig.latencies = cfg.get_list(
         "latencies", {10, 50, 100, 200, 500, 1000, 2000});
     fig.remote_fractions =

@@ -6,7 +6,12 @@
 //
 // Usage: bench_fig12 [csv=1] [horizon=20000] [latency=200] [premote=0.1]
 //                    [sizes=1,2,4,8,16,32,64,128,256] [pars=1,2,4,8,16,32]
-//                    [network=flat] [contention=0]
+//                    [network=flat] [contention=0] [bytes=16]
+//
+// contention=1 runs every sweep point against the packet-level network
+// (one simulation per point through SweepRunner); bytes= scales the
+// per-message flit count.  The stderr generation time demonstrates the
+// timed mode: full-figure contention sweeps complete in seconds.
 #include "bench_util.hpp"
 #include "core/figures.hpp"
 
@@ -20,6 +25,8 @@ int main(int argc, char** argv) {
     fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
     fig.base.network = cfg.get_string("network", fig.base.network);
     fig.base.contention = cfg.get_bool("contention", false);
+    fig.base.message_bytes = static_cast<std::size_t>(
+        cfg.get_int("bytes", static_cast<std::int64_t>(fig.base.message_bytes)));
     std::vector<std::size_t> sizes;
     for (double s : cfg.get_list("sizes", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
       sizes.push_back(static_cast<std::size_t>(s));

@@ -16,13 +16,14 @@
 // Usage: bench_interconnect [nodes=64] [packets=400] [bytes=64] [gap=32]
 //                           [reps=3] [csv=1]
 //                           [json=BENCH_interconnect.json]  (json=- disables)
+//                           [floors=bench/baselines.json]   (perf guard)
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -166,6 +167,7 @@ int main(int argc, char** argv) {
     const auto reps = static_cast<std::size_t>(cfg.get_int("reps", 3));
     const std::string json_path =
         cfg.get_string("json", "BENCH_interconnect.json");
+    const std::string floors_path = cfg.get_string("floors", "");
     require(p.nodes >= 2 && p.packets >= 1 && reps >= 1 && p.gap > 0.0,
             "bench_interconnect: bad nodes=/packets=/reps=/gap=");
 
@@ -204,30 +206,25 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
 
-    if (json_path != "-") {
-      std::ofstream out(json_path);
-      require(out.good(), "bench_interconnect: cannot open json output");
-      out << "{\n  \"bench\": \"interconnect\",\n  \"nodes\": " << p.nodes
-          << ",\n  \"packets_per_node\": " << p.packets
-          << ",\n  \"bytes\": " << p.bytes << ",\n  \"reps\": " << reps
-          << ",\n  \"cells\": [\n";
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& cell = results[i];
-        out << "    {\"name\": \"" << cell.name
-            << "\", \"best_flit_hops_per_sec\": " << cell.best().hops_per_sec()
-            << ", \"mean_latency\": " << cell.best().mean_latency
-            << ", \"trajectory\": [";
-        for (std::size_t j = 0; j < cell.samples.size(); ++j) {
-          out << (j ? ", " : "")
-              << "{\"flit_hops\": " << cell.samples[j].flit_hops
-              << ", \"seconds\": " << cell.samples[j].seconds
-              << ", \"flit_hops_per_sec\": " << cell.samples[j].hops_per_sec()
-              << "}";
-        }
-        out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    std::vector<bench::BenchCell> cells;
+    for (const auto& cell : results) {
+      bench::BenchCell out{cell.name, {}};
+      for (const Sample& s : cell.samples) {
+        out.runs.push_back(bench::BenchRun{s.flit_hops, s.seconds});
       }
-      out << "  ]\n}\n";
-      std::cerr << "# wrote " << json_path << "\n";
+      cells.push_back(std::move(out));
+    }
+    if (json_path != "-") {
+      const std::string header =
+          "\"nodes\": " + std::to_string(p.nodes) +
+          ", \"packets_per_node\": " + std::to_string(p.packets) +
+          ", \"bytes\": " + std::to_string(p.bytes) +
+          ", \"reps\": " + std::to_string(reps) + ",";
+      bench::write_bench_json(json_path, "interconnect", "flit_hops", header,
+                              cells);
+    }
+    if (!floors_path.empty()) {
+      return bench::check_floors(floors_path, "interconnect", cells);
     }
     return 0;
   } catch (const std::exception& e) {

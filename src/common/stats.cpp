@@ -55,16 +55,6 @@ TimeWeighted::TimeWeighted(double initial_value, double start_time)
     : start_(start_time), last_t_(start_time), value_(initial_value),
       max_(initial_value) {}
 
-void TimeWeighted::set(double t, double v) {
-  ensure(t >= last_t_, "TimeWeighted::set: time must be non-decreasing");
-  area_ += value_ * (t - last_t_);
-  last_t_ = t;
-  value_ = v;
-  max_ = std::max(max_, v);
-}
-
-void TimeWeighted::add(double t, double delta) { set(t, value_ + delta); }
-
 double TimeWeighted::mean(double t) const {
   if (t <= start_) return value_;
   return integral(t) / (t - start_);

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace pimsim {
 
 /// Running mean/variance via Welford's algorithm; numerically stable.
@@ -43,10 +45,17 @@ class TimeWeighted {
  public:
   explicit TimeWeighted(double initial_value = 0.0, double start_time = 0.0);
 
-  /// Records that the signal takes value v from time t onward.
-  void set(double t, double v);
+  /// Records that the signal takes value v from time t onward.  Inline:
+  /// the DES hot paths update these accumulators per event.
+  void set(double t, double v) {
+    ensure(t >= last_t_, "TimeWeighted::set: time must be non-decreasing");
+    area_ += value_ * (t - last_t_);
+    last_t_ = t;
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
   /// Adds delta to the current value at time t.
-  void add(double t, double delta);
+  void add(double t, double delta) { set(t, value_ + delta); }
 
   [[nodiscard]] double current() const { return value_; }
   /// Time-average of the signal over [start, t].

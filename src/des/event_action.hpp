@@ -12,6 +12,10 @@
 //    a wire-format byte vector).
 //  * kBoxed  — the escape hatch for oversized or throwing-move callables,
 //    heap-allocated as before.
+//  * kStatic — a raw (function pointer, context, two u64 payloads) record
+//    for components that dispatch millions of homogeneous events, e.g.
+//    the packet network's link-advance/arrive events: no ops table, no
+//    relocation, the payload is invoked directly from the inline buffer.
 //
 // Invoking consumes the action: the callable is relocated to the caller's
 // stack before it runs, so a callback may freely schedule new events even
@@ -58,6 +62,22 @@ class EventAction {
     return a;
   }
 
+  /// Plain-function event with two word-sized payloads — the dedicated
+  /// form for hot homogeneous event streams (link advances, arrivals).
+  /// Cheaper than wrap(): no ops-table indirection, no relocation.
+  using StaticFn = void (*)(void* ctx, std::uint64_t a, std::uint64_t b);
+  static EventAction call(StaticFn fn, void* ctx, std::uint64_t a,
+                          std::uint64_t b) noexcept {
+    EventAction action;
+    action.kind_ = Kind::kStatic;
+    auto& rec = action.storage_.static_call;
+    rec.fn = fn;
+    rec.ctx = ctx;
+    rec.a = a;
+    rec.b = b;
+    return action;
+  }
+
   /// Wraps an arbitrary callable, inline when it fits.
   template <typename F>
   static EventAction wrap(F&& fn) {
@@ -96,6 +116,13 @@ class EventAction {
       case Kind::kBoxed:
         ops_->invoke(storage_.pointer);
         return;
+      case Kind::kStatic: {
+        // Copy to the stack first: the handler may schedule events, which
+        // can reallocate the slot pool that held this action.
+        const StaticCall rec = storage_.static_call;
+        rec.fn(rec.ctx, rec.a, rec.b);
+        return;
+      }
     }
   }
 
@@ -110,7 +137,7 @@ class EventAction {
   }
 
  private:
-  enum class Kind : std::uint8_t { kEmpty, kResume, kSmall, kBoxed };
+  enum class Kind : std::uint8_t { kEmpty, kResume, kSmall, kBoxed, kStatic };
 
   struct Ops {
     void (*invoke)(void* self);   // run, then destroy the stored callable
@@ -153,13 +180,25 @@ class EventAction {
       case Kind::kBoxed:
         storage_.pointer = other.storage_.pointer;
         break;
+      case Kind::kStatic:
+        storage_.static_call = other.storage_.static_call;
+        break;
       case Kind::kEmpty:
         break;
     }
   }
 
+  struct StaticCall {
+    StaticFn fn;
+    void* ctx;
+    std::uint64_t a;
+    std::uint64_t b;
+  };
+  static_assert(sizeof(StaticCall) <= kInlineSize);
+
   union Storage {
     void* pointer;  // kResume: coroutine frame; kBoxed: heap callable
+    StaticCall static_call;  // kStatic: fn + ctx + payload, trivially copyable
     alignas(std::max_align_t) std::byte inline_buf[kInlineSize];
   };
 

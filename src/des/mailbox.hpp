@@ -47,7 +47,9 @@ class Mailbox {
         return "Mailbox '" + box_.name_ +
                "': resumed receiver without a message";
       });
-      box_.sim_.trace(TraceKind::kMailboxReceive, box_.name_);
+      if (box_.sim_.tracing_enabled()) {
+        box_.sim_.trace(TraceKind::kMailboxReceive, box_.name_);
+      }
       return std::move(*slot_);
     }
 
@@ -62,7 +64,9 @@ class Mailbox {
   /// straight into the receiver's frame and the wake-up is a raw
   /// coroutine-resume calendar entry (EventAction kResume).
   void send(T value) {
-    sim_.trace(TraceKind::kMailboxSend, name_);
+    // tracing_enabled() first: trace() itself is an inline branch, but
+    // evaluating its arguments is not free on a path this hot.
+    if (sim_.tracing_enabled()) sim_.trace(TraceKind::kMailboxSend, name_);
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();

@@ -51,12 +51,13 @@ bool Simulation::cancel(EventId id) {
   return true;
 }
 
-// --- 4-ary heap ----------------------------------------------------------
+// --- d-ary heap ----------------------------------------------------------
 //
-// A 4-ary implicit heap halves the tree depth of the binary std::priority_
-// queue it replaces, and the four 24-byte children of a node are scanned
-// contiguously — fewer, more predictable memory touches per sift than a
-// binary heap's pointer-chasing depth.
+// A wide implicit heap cuts the tree depth of the binary
+// std::priority_queue it replaces, and the 24-byte children of a node are
+// scanned contiguously with a single branchless 128-bit key compare each
+// — fewer, more predictable memory touches per sift than a binary heap's
+// pointer-chasing depth.
 
 void Simulation::heap_pop_top() {
   heap_.front() = heap_.back();
@@ -68,10 +69,10 @@ void Simulation::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
   const HeapEntry entry = heap_[i];
   for (;;) {
-    const std::size_t first = 4 * i + 1;
+    const std::size_t first = kHeapArity * i + 1;
     if (first >= n) break;
     std::size_t best = first;
-    const std::size_t last = std::min(first + 4, n);
+    const std::size_t last = std::min(first + kHeapArity, n);
     for (std::size_t child = first + 1; child < last; ++child) {
       if (before(heap_[child], heap_[best])) best = child;
     }
@@ -95,7 +96,9 @@ void Simulation::compact_calendar() {
   heap_.resize(keep);
   if (heap_.size() > 1) {
     // Floyd heapify: sift down every internal node, deepest first.
-    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+    for (std::size_t i = (heap_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
   }
   // Filter the immediate lane in place, preserving FIFO order.
   std::size_t write = 0;
@@ -126,9 +129,9 @@ bool Simulation::pop_next(HeapEntry& out, bool bounded, SimTime horizon) {
     bool use_now = have_now;
     if (have_now && have_heap) {
       // Lane entries are all at time now_; a heap entry only precedes the
-      // lane front if it is at now_ with an older sequence number.
-      const HeapEntry& top = heap_.front();
-      if (top.time == now_ && top.seq < now_queue_[now_head_].seq) {
+      // lane front if it is at now_ with an older sequence number — one
+      // wide-key compare covers both fields.
+      if (heap_.front().key < heap_key(now_, now_queue_[now_head_].seq)) {
         use_now = false;
       }
     }
@@ -151,7 +154,7 @@ bool Simulation::pop_next(HeapEntry& out, bool bounded, SimTime horizon) {
         --stale_;
         continue;
       }
-      out = HeapEntry{now_, entry.seq, entry.slot, entry.gen};
+      out = HeapEntry{heap_key(now_, entry.seq), entry.slot, entry.gen};
       return true;
     }
     const HeapEntry entry = heap_.front();
@@ -160,7 +163,7 @@ bool Simulation::pop_next(HeapEntry& out, bool bounded, SimTime horizon) {
       --stale_;
       continue;
     }
-    if (bounded && entry.time > horizon) return false;
+    if (bounded && entry.time() > horizon) return false;
     heap_pop_top();
     out = entry;
     return true;
@@ -173,7 +176,8 @@ void Simulation::dispatch(const HeapEntry& entry) {
   // cancel, and must observe this event as already dispatched.
   EventAction action = std::move(slots_[entry.slot].action);
   release_slot(entry.slot);
-  now_ = entry.time;
+  now_ = entry.time();
+  current_seq_ = entry.seq();
   ++dispatched_;
   if (tracer_) {
     const EventId id =
@@ -181,6 +185,7 @@ void Simulation::dispatch(const HeapEntry& entry) {
     trace(TraceKind::kEventDispatched, "event", std::to_string(id));
   }
   action.invoke();
+  current_seq_ = 0;  // outside dispatch the documented value is 0
 }
 
 void Simulation::rethrow_pending() {

@@ -113,11 +113,52 @@ class Simulation {
   /// Installs (or removes, with nullptr) a tracer. Not owned.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
+  /// Fast guard for hot paths that would otherwise pay argument setup
+  /// (string refs, record construction) before trace() can bail out.
+  [[nodiscard]] bool tracing_enabled() const { return tracer_ != nullptr; }
   /// Emits a trace record if tracing is enabled.  Inline so the
   /// tracer-disabled case costs one predicted branch on the hot paths.
   void trace(TraceKind kind, const std::string& label,
              const std::string& detail = {}) const {
     if (tracer_) tracer_->record(TraceRecord{now_, kind, label, detail});
+  }
+
+  // --- hooks for deterministic deferred-event components -----------------
+  //
+  // The packet network (interconnect/network.cpp) avoids scheduling one
+  // calendar event per flit arrival by keeping arrivals in its own
+  // per-link rings.  To preserve the dispatch order an eager event would
+  // have had, it allocates the event's sequence number at the moment the
+  // old design would have scheduled it (allocate_seq) and, if a real
+  // wake-up later turns out to be needed, schedules it *at that key*
+  // (schedule_at_seq) — same-time events then dispatch in exactly the
+  // order of their allocation points.
+
+  /// Consumes one scheduling sequence number without scheduling anything.
+  std::uint64_t allocate_seq() { return next_seq_++; }
+
+  /// Sequence of the event currently being dispatched (0 outside
+  /// dispatch).  A side effect performed synchronously inside an event
+  /// holds this position in the global FIFO order.
+  [[nodiscard]] std::uint64_t current_dispatch_seq() const {
+    return current_seq_;
+  }
+
+  /// Schedules a static-call event under a key from allocate_seq().
+  /// `at` must be strictly in the future (a key older than already
+  /// dispatched same-time events cannot be honoured).
+  EventId schedule_static_at_seq(SimTime at, std::uint64_t seq,
+                                 EventAction::StaticFn fn, void* ctx,
+                                 std::uint64_t a, std::uint64_t b) {
+    ensure(at > now_, "Simulation::schedule_static_at_seq: must be future");
+    return schedule_action_seq(at, seq, EventAction::call(fn, ctx, a, b));
+  }
+
+  /// Schedules a static-call event (the allocation-free fast path for
+  /// homogeneous high-volume events; see EventAction::call).
+  EventId schedule_static_at(SimTime at, EventAction::StaticFn fn, void* ctx,
+                             std::uint64_t a, std::uint64_t b) {
+    return schedule_action(at, EventAction::call(fn, ctx, a, b));
   }
 
   // --- internal hooks used by the process layer (see process.hpp) ---
@@ -154,12 +195,31 @@ class Simulation {
     std::uint32_t next_free = kNoSlot;
   };
 
+  /// Calendar entry ordered by a single 128-bit (time, seq) key: event
+  /// times are non-negative, so the IEEE bit pattern of `time` compares
+  /// like the double itself, and one wide integer compare replaces the
+  /// two-branch (time, seq) comparison on the heap's hottest path.
   struct HeapEntry {
-    SimTime time;
-    std::uint64_t seq;   // global scheduling order: FIFO among same-time
+    unsigned __int128 key;  // (bit_cast<u64>(time) << 64) | seq
     std::uint32_t slot;
-    std::uint32_t gen;   // stale once != slots_[slot].generation
+    std::uint32_t gen;  // stale once != slots_[slot].generation
+
+    [[nodiscard]] SimTime time() const {
+      const auto bits = static_cast<std::uint64_t>(key >> 64);
+      SimTime t;
+      __builtin_memcpy(&t, &bits, sizeof(t));
+      return t;
+    }
+    [[nodiscard]] std::uint64_t seq() const {
+      return static_cast<std::uint64_t>(key);
+    }
   };
+
+  static unsigned __int128 heap_key(SimTime time, std::uint64_t seq) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &time, sizeof(bits));
+    return (static_cast<unsigned __int128>(bits) << 64) | seq;
+  }
 
   /// An event scheduled exactly at now(): lives in the immediate lane, a
   /// FIFO ring that never pays a heap sift.  Always at time now_, ordered
@@ -171,21 +231,23 @@ class Simulation {
   };
 
   static bool before(const HeapEntry& a, const HeapEntry& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
+    return a.key < b.key;
   }
 
   // The scheduling fast path is defined inline (below the class) so the
   // resume_* hooks and template schedule_* compile down to a freelist pop,
   // a tag store, and one queue push at every call site.
   EventId schedule_action(SimTime at, EventAction action);
+  EventId schedule_action_seq(SimTime at, std::uint64_t seq,
+                              EventAction action);
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
   bool pop_next(HeapEntry& out, bool bounded, SimTime horizon);
   void dispatch(const HeapEntry& entry);
   void rethrow_pending();
 
-  // 4-ary implicit min-heap over heap_ (children of i: 4i+1 .. 4i+4).
+  // D-ary implicit min-heap over heap_ (children of i: D*i+1 .. D*i+D).
+  static constexpr std::size_t kHeapArity = 4;
   void heap_push(const HeapEntry& entry);
   void heap_pop_top();
   void sift_up(std::size_t i);
@@ -194,6 +256,7 @@ class Simulation {
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t current_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::size_t live_events_ = 0;
   std::size_t stale_ = 0;
@@ -226,7 +289,7 @@ inline std::uint32_t Simulation::acquire_slot() {
 inline void Simulation::sift_up(std::size_t i) {
   const HeapEntry entry = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) >> 2;
+    const std::size_t parent = (i - 1) / kHeapArity;
     if (!before(entry, heap_[parent])) break;
     heap_[i] = heap_[parent];
     i = parent;
@@ -250,8 +313,25 @@ inline EventId Simulation::schedule_action(SimTime at, EventAction action) {
     // spawns) skip the heap entirely; FIFO order == seq order.
     now_queue_.push_back(NowEntry{seq, index, slot.generation});
   } else {
-    heap_push(HeapEntry{at, seq, index, slot.generation});
+    heap_push(HeapEntry{heap_key(at, seq), index, slot.generation});
   }
+  ++live_events_;
+  const EventId id = (static_cast<EventId>(slot.generation) << 32) |
+                     static_cast<EventId>(index);
+  if (tracer_) trace(TraceKind::kEventScheduled, "event", std::to_string(id));
+  return id;
+}
+
+inline des::EventId Simulation::schedule_action_seq(SimTime at,
+                                                    std::uint64_t seq,
+                                                    EventAction action) {
+  // A keyed event is always strictly in the future (callers ensure it),
+  // so it goes to the heap: the immediate lane's FIFO assumes seq order
+  // matches push order, which a replayed key would violate.
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.action = std::move(action);
+  heap_push(HeapEntry{heap_key(at, seq), index, slot.generation});
   ++live_events_;
   const EventId id = (static_cast<EventId>(slot.generation) << 32) |
                      static_cast<EventId>(index);

@@ -14,9 +14,9 @@
 // lazily).  One instance serves exactly one Simulation; reusing it in a
 // second Simulation throws LogicError — build a fresh adapter per run.
 //
-// The network's link workers idle on their queues forever; harnesses that
-// count suspended processes (ParcelMachine::run) should treat
-// idle_processes() of them as expected.
+// The packet network is event-driven (no worker processes), so harnesses
+// that audit suspended processes (ParcelMachine::run) see nothing extra:
+// idle_processes() is 0.
 #pragma once
 
 #include <memory>
@@ -54,11 +54,9 @@ class ContentionInterconnect final : public parcel::Interconnect {
   [[nodiscard]] Cycles zero_load_latency(NodeId src, NodeId dst,
                                          std::size_t bytes) const;
 
-  /// Link workers parked on their queues once bound (the base-class hook
-  /// harnesses use to discount forever-idle processes); 0 while unbound.
-  [[nodiscard]] std::size_t idle_processes() const override {
-    return net_ != nullptr ? topo_.links().size() : 0;
-  }
+  /// The event-driven network parks no processes; the base-class default
+  /// (0) is already right, restated here so the intent is explicit.
+  [[nodiscard]] std::size_t idle_processes() const override { return 0; }
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const PacketConfig& config() const { return cfg_; }

