@@ -7,40 +7,13 @@
 // saturates its NICs, adding parallelism stops helping and the Figure 11
 // ratio clips at the injection-rate ceiling.
 //
+// Thin wrapper over the registered `ablation_bandwidth` scenario —
+// identical to `pimsim run ablation_bandwidth [k=v ...]`.
+//
 // Usage: bench_ablation_bandwidth [csv=1] [nodes=8] [horizon=30000]
 //                                 [latency=500] [premote=0.2]
-#include "analytic/parcel_model.hpp"
 #include "bench_util.hpp"
-#include "parcel/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    parcel::SplitTransactionParams base;
-    base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
-    base.horizon = cfg.get_double("horizon", 30'000.0);
-    base.round_trip_latency = cfg.get_double("latency", 500.0);
-    base.p_remote = cfg.get_double("premote", 0.2);
-    base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-
-    Table t("Ablation E: injection bandwidth (L = " +
-                format_number(base.round_trip_latency) + ", " +
-                format_number(base.p_remote * 100.0) + "% remote)",
-            {"nic_gap", "Parallelism", "work ratio", "test work/cycle/node",
-             "bandwidth bound"});
-    for (double gap : {0.0, 5.0, 20.0, 80.0}) {
-      for (std::int64_t par : {1, 4, 16, 64}) {
-        parcel::SplitTransactionParams p = base;
-        p.nic_gap = gap;
-        p.parallelism = static_cast<std::size_t>(par);
-        const parcel::ComparisonPoint point = parcel::compare_systems(p);
-        const double per_node =
-            point.test_work / (p.horizon * static_cast<double>(p.nodes));
-        const double bound = analytic::test_throughput_bandwidth_bound(p);
-        t.add_row({gap, par, point.work_ratio, per_node,
-                   std::isinf(bound) ? Cell{std::string("inf")} : Cell{bound}});
-      }
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "ablation_bandwidth");
 }

@@ -8,34 +8,13 @@
 // oversubscribing banks (several LWPs per bank) shows how much slowdown
 // the assumption would hide on denser chips.
 //
+// Thin wrapper over the registered `ablation_bank_conflicts` scenario —
+// identical to `pimsim run ablation_bank_conflicts [k=v ...]`.
+//
 // Usage: bench_ablation_bank_conflicts [csv=1] [ops=400000] [nodes=8]
-#include "arch/host_system.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    arch::HostConfig base;
-    base.workload.total_ops =
-        static_cast<std::uint64_t>(cfg.get_int("ops", 400'000));
-    base.workload.lwp_fraction = 1.0;  // all work on the LWP array
-    base.lwp_nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
-    base.batch_ops = 10'000;
-    base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-
-    const double batched = arch::run_host_system(base).total_cycles;
-
-    Table t("Ablation A: bank-conflict modeling (100% LWP work, " +
-                std::to_string(base.lwp_nodes) + " LWPs)",
-            {"LWPs per bank", "makespan (cycles)", "vs contention-free"});
-    t.add_row({std::string("(not modeled, paper)"), batched, 1.0});
-    for (std::int64_t per_bank : {1, 2, 4, 8}) {
-      arch::HostConfig cfg2 = base;
-      cfg2.model_bank_conflicts = true;
-      cfg2.lwps_per_bank = static_cast<std::size_t>(per_bank);
-      const double cycles = arch::run_host_system(cfg2).total_cycles;
-      t.add_row({per_bank, cycles, cycles / batched});
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv,
+                                          "ablation_bank_conflicts");
 }

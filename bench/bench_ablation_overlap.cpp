@@ -8,42 +8,12 @@
 // sum:  Time_relative_ov = max(1 - %WL, %WL*NB/N), capped gain
 // 1/(1-%WL) reached already at N* = NB*%WL/(1-%WL) nodes.
 //
+// Thin wrapper over the registered `ablation_overlap` scenario —
+// identical to `pimsim run ablation_overlap [k=v ...]`.
+//
 // Usage: bench_ablation_overlap [csv=1] [ops=4000000] [pct=0.7]
-#include "analytic/hwp_lwp.hpp"
-#include "arch/host_system.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    arch::HostConfig base;
-    base.workload.total_ops =
-        static_cast<std::uint64_t>(cfg.get_int("ops", 4'000'000));
-    base.workload.lwp_fraction = cfg.get_double("pct", 0.7);
-    base.batch_ops = 50'000;
-    base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-
-    const double pct = base.workload.lwp_fraction;
-    const arch::SystemParams& params = base.params;
-    Table t("Ablation D: serialized vs overlapped host/PIM execution "
-            "(%WL = " + format_number(pct * 100.0) + ", balanced N* = " +
-                format_number(analytic::balanced_nodes(params, pct)) + ")",
-            {"Nodes", "serial gain (sim)", "serial gain (model)",
-             "overlap gain (sim)", "overlap gain (model)"});
-    const double control =
-        arch::run_control_system(base).total_cycles;
-    for (std::size_t nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
-      arch::HostConfig serial = base;
-      serial.lwp_nodes = nodes;
-      arch::HostConfig overlap = serial;
-      overlap.overlap_phases = true;
-      const double n = static_cast<double>(nodes);
-      t.add_row({static_cast<std::int64_t>(nodes),
-                 control / arch::run_host_system(serial).total_cycles,
-                 analytic::gain(params, n, pct),
-                 control / arch::run_host_system(overlap).total_cycles,
-                 1.0 / analytic::time_relative_overlapped(params, n, pct)});
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "ablation_overlap");
 }

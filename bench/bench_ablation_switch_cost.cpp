@@ -6,34 +6,13 @@
 // locates the reversal region: the closed form predicts the saturated
 // ratio dips below 1 when the round trip latency L < 2*t_switch.
 //
+// Thin wrapper over the registered `ablation_switch_cost` scenario —
+// identical to `pimsim run ablation_switch_cost [k=v ...]`.
+//
 // Usage: bench_ablation_switch_cost [csv=1] [nodes=8] [horizon=30000]
 //                                   [parallelism=16] [premote=0.2]
-#include "analytic/parcel_model.hpp"
 #include "bench_util.hpp"
-#include "parcel/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    parcel::SplitTransactionParams base;
-    base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
-    base.horizon = cfg.get_double("horizon", 30'000.0);
-    base.p_remote = cfg.get_double("premote", 0.2);
-    base.parallelism = static_cast<std::size_t>(cfg.get_int("parallelism", 16));
-    base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-
-    Table t("Ablation C: parcel handling overhead (reversal when L < 2*t_switch)",
-            {"t_switch", "Latency (cycles)", "work ratio", "ratio (model)"});
-    for (double t_switch : {0.0, 2.0, 8.0, 32.0}) {
-      for (double latency : {10.0, 50.0, 200.0, 1000.0}) {
-        parcel::SplitTransactionParams p = base;
-        p.t_switch = t_switch;
-        p.round_trip_latency = latency;
-        const parcel::ComparisonPoint point = parcel::compare_systems(p);
-        t.add_row({t_switch, latency, point.work_ratio,
-                   analytic::predicted_ratio(p)});
-      }
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "ablation_switch_cost");
 }

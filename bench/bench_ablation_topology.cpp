@@ -9,40 +9,14 @@
 // links) of the same topology and zero-load calibration, so the table
 // also shows what link contention does to the work ratio.
 //
+// Thin wrapper over the registered `ablation_topology` scenario —
+// identical to `pimsim run ablation_topology [k=v ...]`.
+//
 // Usage: bench_ablation_topology [csv=1] [nodes=16] [horizon=30000]
 //                                [latency=500] [premote=0.2] [contention=0]
 //                                [msgbytes=16]
 #include "bench_util.hpp"
-#include "parcel/system.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    parcel::SplitTransactionParams base;
-    base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 16));
-    base.horizon = cfg.get_double("horizon", 30'000.0);
-    base.round_trip_latency = cfg.get_double("latency", 500.0);
-    base.p_remote = cfg.get_double("premote", 0.2);
-    base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-    base.contention = cfg.get_bool("contention", false);
-    base.message_bytes = static_cast<std::size_t>(cfg.get_int("msgbytes", 16));
-
-    Table t("Ablation B: topology sensitivity (mean round trip " +
-                format_number(base.round_trip_latency) + " cycles, " +
-                std::to_string(base.nodes) + " nodes, " +
-                (base.contention ? "packet-level" : "analytic") + " network)",
-            {"Network", "Parallelism", "work ratio", "test idle %",
-             "control idle %"});
-    for (const char* network : {"flat", "ring", "mesh2d", "torus"}) {
-      for (std::int64_t par : {1, 4, 16, 32}) {
-        parcel::SplitTransactionParams p = base;
-        p.network = network;
-        p.parallelism = static_cast<std::size_t>(par);
-        const parcel::ComparisonPoint point = parcel::compare_systems(p);
-        t.add_row({std::string(network), par, point.work_ratio,
-                   point.test_idle * 100.0, point.control_idle * 100.0});
-      }
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "ablation_topology");
 }

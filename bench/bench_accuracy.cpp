@@ -4,33 +4,12 @@
 // grid and the summary band; our exact binomial batching makes the band
 // far tighter than the paper's (see EXPERIMENTS.md).
 //
+// Thin wrapper over the registered `accuracy` scenario — identical to
+// `pimsim run accuracy [k=v ...]`; docs via `pimsim help accuracy`.
+//
 // Usage: bench_accuracy [csv=1] [ops=10000000] [maxnodes=64]
-#include <iostream>
-
-#include "analytic/accuracy.hpp"
 #include "bench_util.hpp"
-#include "core/experiment.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    core::HostFigureConfig fig;
-    fig.base.workload.total_ops =
-        static_cast<std::uint64_t>(cfg.get_int("ops", 10'000'000));
-    fig.base.batch_ops =
-        static_cast<std::uint64_t>(cfg.get_int("batch", 100'000));
-    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-    fig.node_counts = core::pow2_range(
-        static_cast<std::size_t>(cfg.get_int("maxnodes", 64)));
-    fig.lwp_fractions = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
-
-    const auto entries = analytic::compare_grid(fig.base, fig.node_counts,
-                                                fig.lwp_fractions);
-    const auto band = analytic::summarize(entries);
-    std::cerr << "# accuracy band: min " << band.min_rel_error * 100.0
-              << "%  mean " << band.mean_rel_error * 100.0 << "%  max "
-              << band.max_rel_error * 100.0 << "%  (paper: 5%-18%)\n";
-    return core::make_accuracy_table(fig);
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "accuracy");
 }

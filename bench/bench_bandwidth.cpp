@@ -3,13 +3,12 @@
 // "an on-chip peak memory bandwidth of greater than 1 Tbit/s is possible
 // per chip", from the row/page geometry and timing.
 //
+// Thin wrapper over the registered `bandwidth` scenario — identical to
+// `pimsim run bandwidth`; docs via `pimsim help bandwidth`.
+//
 // Usage: bench_bandwidth [csv=1]
 #include "bench_util.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config&) {
-    return core::make_bandwidth_table();
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "bandwidth");
 }

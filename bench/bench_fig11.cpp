@@ -4,43 +4,20 @@
 // completed by the parcel split-transaction system to the blocking
 // message-passing control, alongside the closed-form prediction.
 //
+// contention=1 swaps the analytic interconnect for the packet-level
+// model (one simulated network per sweep point, fanned out through
+// SweepRunner); bytes= sets the wire size of each request/reply so the
+// flit count — and therefore network load — scales with it.
+//
+// Thin wrapper over the registered `fig11` scenario — identical to
+// `pimsim run fig11 [k=v ...]`; parameter docs via `pimsim help fig11`.
+//
 // Usage: bench_fig11 [csv=1] [nodes=8] [horizon=30000]
 //                    [latencies=10,50,100,200,500,1000,2000]
 //                    [remotes=0.02,0.05,0.1,0.2,0.5] [pars=1,2,4,8,16,32]
 //                    [network=flat] [contention=0] [bytes=16]
-//
-// contention=1 swaps the analytic interconnect for the packet-level
-// model (one simulated network per sweep point, fanned out through
-// SweepRunner); bytes= sets the wire size of each request/reply so the
-// flit count — and therefore network load — scales with it.  The
-// generation time printed on stderr is the timed mode's deliverable:
-// full-figure contention sweeps complete in seconds.
 #include "bench_util.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    core::ParcelFigureConfig fig = core::ParcelFigureConfig::defaults_fig11();
-    fig.base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
-    fig.base.horizon = cfg.get_double("horizon", 30'000.0);
-    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-    fig.base.t_switch = cfg.get_double("tswitch", fig.base.t_switch);
-    fig.base.t_local = cfg.get_double("tlocal", fig.base.t_local);
-    fig.base.network = cfg.get_string("network", fig.base.network);
-    fig.base.contention = cfg.get_bool("contention", false);
-    fig.base.message_bytes = static_cast<std::size_t>(
-        cfg.get_int("bytes", static_cast<std::int64_t>(fig.base.message_bytes)));
-    fig.latencies = cfg.get_list(
-        "latencies", {10, 50, 100, 200, 500, 1000, 2000});
-    fig.remote_fractions =
-        cfg.get_list("remotes", {0.02, 0.05, 0.10, 0.20, 0.50});
-    std::vector<std::size_t> pars;
-    for (double p : cfg.get_list("pars", {1, 2, 4, 8, 16, 32})) {
-      pars.push_back(static_cast<std::size_t>(p));
-    }
-    fig.parallelism = pars;
-    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
-    return core::make_fig11(fig);
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "fig11");
 }

@@ -4,40 +4,18 @@
 // runs).  With sufficient parallelism the test system's idle time drops
 // to ~zero while the control system stays idle waiting for replies.
 //
+// contention=1 runs every sweep point against the packet-level network
+// (one simulation per point through SweepRunner); bytes= scales the
+// per-message flit count.
+//
+// Thin wrapper over the registered `fig12` scenario — identical to
+// `pimsim run fig12 [k=v ...]`; parameter docs via `pimsim help fig12`.
+//
 // Usage: bench_fig12 [csv=1] [horizon=20000] [latency=200] [premote=0.1]
 //                    [sizes=1,2,4,8,16,32,64,128,256] [pars=1,2,4,8,16,32]
 //                    [network=flat] [contention=0] [bytes=16]
-//
-// contention=1 runs every sweep point against the packet-level network
-// (one simulation per point through SweepRunner); bytes= scales the
-// per-message flit count.  The stderr generation time demonstrates the
-// timed mode: full-figure contention sweeps complete in seconds.
 #include "bench_util.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    core::ParcelFigureConfig fig = core::ParcelFigureConfig::defaults_fig12();
-    fig.base.horizon = cfg.get_double("horizon", 20'000.0);
-    fig.base.round_trip_latency = cfg.get_double("latency", 200.0);
-    fig.base.p_remote = cfg.get_double("premote", 0.1);
-    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-    fig.base.network = cfg.get_string("network", fig.base.network);
-    fig.base.contention = cfg.get_bool("contention", false);
-    fig.base.message_bytes = static_cast<std::size_t>(
-        cfg.get_int("bytes", static_cast<std::int64_t>(fig.base.message_bytes)));
-    std::vector<std::size_t> sizes;
-    for (double s : cfg.get_list("sizes", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
-      sizes.push_back(static_cast<std::size_t>(s));
-    }
-    fig.node_counts = sizes;
-    std::vector<std::size_t> pars;
-    for (double p : cfg.get_list("pars", {1, 2, 4, 8, 16, 32})) {
-      pars.push_back(static_cast<std::size_t>(p));
-    }
-    fig.parallelism = pars;
-    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
-    return core::make_fig12(fig);
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "fig12");
 }

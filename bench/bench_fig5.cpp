@@ -2,25 +2,13 @@
 // system over the host-only control, versus the lightweight workload
 // fraction, for node counts 1..256.
 //
+// Thin wrapper over the registered `fig5` scenario — identical to
+// `pimsim run fig5 [k=v ...]`; parameter docs via `pimsim help fig5`.
+//
 // Usage: bench_fig5 [csv=1] [maxnodes=256] [ops=100000000] [reps=3]
 //                   [batch=1000000] [seed=1] [threads=0]
 #include "bench_util.hpp"
-#include "core/experiment.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    core::HostFigureConfig fig = core::HostFigureConfig::defaults_fig5();
-    fig.node_counts = core::pow2_range(
-        static_cast<std::size_t>(cfg.get_int("maxnodes", 256)));
-    fig.base.workload.total_ops =
-        static_cast<std::uint64_t>(cfg.get_int("ops", 100'000'000));
-    fig.base.batch_ops =
-        static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
-    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-    fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
-    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
-    return core::make_fig5(fig);
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "fig5");
 }

@@ -3,24 +3,12 @@
 // The paper's axis tops out at 1.6e9 ns; the 100% LWT single-node point
 // lands at 1.25e9 ns.
 //
+// Thin wrapper over the registered `fig6` scenario — identical to
+// `pimsim run fig6 [k=v ...]`; parameter docs via `pimsim help fig6`.
+//
 // Usage: bench_fig6 [csv=1] [maxnodes=64] [ops=100000000] [reps=3] [threads=0]
 #include "bench_util.hpp"
-#include "core/experiment.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    core::HostFigureConfig fig = core::HostFigureConfig::defaults_fig6();
-    fig.node_counts = core::pow2_range(
-        static_cast<std::size_t>(cfg.get_int("maxnodes", 64)));
-    fig.base.workload.total_ops =
-        static_cast<std::uint64_t>(cfg.get_int("ops", 100'000'000));
-    fig.base.batch_ops =
-        static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
-    fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-    fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
-    fig.sweep_threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
-    return core::make_fig6(fig);
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "fig6");
 }

@@ -4,33 +4,12 @@
 // (3.125 for Table 1 parameters) — the paper's "totally unanticipated"
 // third orthogonal parameter.
 //
+// Thin wrapper over the registered `fig7` scenario — identical to
+// `pimsim run fig7 [k=v ...]`; parameter docs via `pimsim help fig7`.
+//
 // Usage: bench_fig7 [csv=1] [maxnodes=64] [pmiss=0.1] [tml=30] ...
-#include <algorithm>
-
-#include "arch/params.hpp"
 #include "bench_util.hpp"
-#include "core/experiment.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    arch::SystemParams params = arch::SystemParams::table1();
-    params.tl_cycle = cfg.get_double("tlcycle", params.tl_cycle);
-    params.t_mh = cfg.get_double("tmh", params.t_mh);
-    params.t_ch = cfg.get_double("tch", params.t_ch);
-    params.t_ml = cfg.get_double("tml", params.t_ml);
-    params.p_miss = cfg.get_double("pmiss", params.p_miss);
-    params.ls_mix = cfg.get_double("mix", params.ls_mix);
-
-    // Dense N axis (including the fractional neighborhood of NB) so the
-    // coincidence point is visible in the plotted series.
-    std::vector<double> nodes;
-    const double max_nodes = cfg.get_double("maxnodes", 64.0);
-    for (double n = 1.0; n <= max_nodes; n *= 1.25) nodes.push_back(n);
-    nodes.push_back(params.nb());  // the crossover itself
-    std::sort(nodes.begin(), nodes.end());
-
-    return core::make_fig7(params, nodes, core::fraction_range(10));
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "fig7");
 }

@@ -6,38 +6,12 @@
 //   * the resulting break-even node count NB(K),
 //   * the asymptotic per-node speedup over single-threaded LWPs.
 //
+// Thin wrapper over the registered `multithreading` scenario — identical
+// to `pimsim run multithreading`; docs via `pimsim help multithreading`.
+//
 // Usage: bench_multithreading [csv=1] [switch=1] [ops=60000]
-#include "analytic/multithreading.hpp"
-#include "arch/mtlwp.hpp"
 #include "bench_util.hpp"
-#include "des/simulation.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    const arch::SystemParams params = arch::SystemParams::table1();
-    const double switch_cost = cfg.get_double("switch", 1.0);
-    const auto ops = static_cast<std::uint64_t>(cfg.get_int("ops", 60'000));
-    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 11));
-
-    const analytic::MultithreadSpec spec =
-        analytic::lwp_thread_spec(params, switch_cost);
-    Table t("Multithreading at the PIM node (K_sat = " +
-                format_number(analytic::saturation_threads(spec)) +
-                ", switch = " + format_number(switch_cost) + " cycles)",
-            {"Threads K", "cost/op (model)", "cost/op (sim)", "NB(K)",
-             "speedup vs K=1", "utilization (sim)"});
-    for (std::size_t k : {1, 2, 3, 4, 6, 8, 16}) {
-      des::Simulation sim;
-      arch::MultithreadedLwp node(sim, params, Rng(seed), k, switch_cost);
-      sim.spawn(node.run(ops));
-      sim.run();
-      const double sim_cost = sim.now() / static_cast<double>(ops);
-      t.add_row({static_cast<std::int64_t>(k),
-                 analytic::lwp_cost_per_op_mt(params, k, switch_cost),
-                 sim_cost, analytic::nb_mt(params, k, switch_cost),
-                 analytic::speedup(spec, k), node.utilization()});
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "multithreading");
 }

@@ -4,49 +4,12 @@
 // the "contribute to the optimization of its design" use of the model:
 // it ranks which knobs matter.
 //
+// Thin wrapper over the registered `sensitivity` scenario — identical to
+// `pimsim run sensitivity`; docs via `pimsim help sensitivity`.
+//
 // Usage: bench_sensitivity [csv=1]
-#include <functional>
-
-#include "arch/params.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config&) {
-    const arch::SystemParams base = arch::SystemParams::table1();
-
-    struct Knob {
-      const char* name;
-      std::function<void(arch::SystemParams&, double)> set;
-      std::vector<double> values;
-    };
-    const std::vector<Knob> knobs = {
-        {"Pmiss", [](arch::SystemParams& p, double v) { p.p_miss = v; },
-         {0.02, 0.05, 0.1, 0.2, 0.4}},
-        {"TMH", [](arch::SystemParams& p, double v) { p.t_mh = v; },
-         {45, 90, 180, 360}},
-        {"TML", [](arch::SystemParams& p, double v) { p.t_ml = v; },
-         {10, 22, 30, 60}},
-        {"TLcycle", [](arch::SystemParams& p, double v) { p.tl_cycle = v; },
-         {2, 5, 10}},
-        {"TCH", [](arch::SystemParams& p, double v) { p.t_ch = v; },
-         {1, 2, 4}},
-        {"mix l/s", [](arch::SystemParams& p, double v) { p.ls_mix = v; },
-         {0.1, 0.3, 0.5}},
-    };
-
-    Table t("Sensitivity of NB to the Table 1 parameters (baseline NB = " +
-                format_number(base.nb()) + ")",
-            {"Parameter", "Value", "HWP cost/op", "LWP cost/op", "NB",
-             "NB / baseline"});
-    for (const auto& knob : knobs) {
-      for (double v : knob.values) {
-        arch::SystemParams p = base;
-        knob.set(p, v);
-        t.add_row({std::string(knob.name), v, p.hwp_cost_per_op(),
-                   p.lwp_cost_per_op(), p.nb(), p.nb() / base.nb()});
-      }
-    }
-    return t;
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "sensitivity");
 }

@@ -1,22 +1,12 @@
 // Regenerates Table 1 ("Parametric Assumptions and Metrics") with the
 // derived per-operation costs and the break-even node count NB.
 //
+// Thin wrapper over the registered `table1` scenario — identical to
+// `pimsim run table1 [k=v ...]`; parameter docs via `pimsim help table1`.
+//
 // Usage: bench_table1 [csv=1] [pmiss=0.1] [mix=0.3] [tml=30] ...
-#include "arch/params.hpp"
 #include "bench_util.hpp"
-#include "core/figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace pimsim;
-  return bench::run_figure(argc, argv, [](const Config& cfg) {
-    arch::SystemParams params = arch::SystemParams::table1();
-    params.th_cycle_ns = cfg.get_double("thcycle", params.th_cycle_ns);
-    params.tl_cycle = cfg.get_double("tlcycle", params.tl_cycle);
-    params.t_mh = cfg.get_double("tmh", params.t_mh);
-    params.t_ch = cfg.get_double("tch", params.t_ch);
-    params.t_ml = cfg.get_double("tml", params.t_ml);
-    params.p_miss = cfg.get_double("pmiss", params.p_miss);
-    params.ls_mix = cfg.get_double("mix", params.ls_mix);
-    return core::make_table1(params);
-  });
+  return pimsim::bench::run_scenario_main(argc, argv, "table1");
 }

@@ -15,6 +15,7 @@
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "core/scenario.hpp"
 
 namespace pimsim::bench {
 
@@ -145,6 +146,16 @@ int run_figure(int argc, char** argv, Fn&& generate) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+}
+
+/// Runs a registered scenario (core/scenario.hpp) as a bench binary:
+/// identical output and timing to run_figure, plus the registry's typed
+/// parameter validation (unknown keys fail loudly, listing valid ones).
+/// This is the whole body of the thin bench_* wrappers.
+inline int run_scenario_main(int argc, char** argv, const char* name) {
+  return run_figure(argc, argv, [name](const Config& cfg) {
+    return core::run_scenario(name, cfg, /*extra_allowed=*/{"csv"});
+  });
 }
 
 }  // namespace pimsim::bench

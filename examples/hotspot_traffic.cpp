@@ -9,85 +9,25 @@
 // packet model reproduces the analytic numbers (its zero-contention
 // degenerate).
 //
+// This walkthrough narrates the registered `hotspot` scenario (the table
+// below is exactly `pimsim run hotspot`; re-parameterize with e.g.
+// `pimsim run hotspot nodes=64 networks=mesh2d,torus`).
+//
 // Build & run:  ./examples/hotspot_traffic
-#include <algorithm>
 #include <cstdio>
 #include <iostream>
-#include <memory>
-#include <string>
-#include <vector>
 
-#include "common/table.hpp"
-#include "des/process.hpp"
-#include "des/simulation.hpp"
-#include "interconnect/contention.hpp"
-#include "parcel/network.hpp"
-
-namespace {
-
-using namespace pimsim;
-using interconnect::make_contention_interconnect;
-using parcel::NodeId;
-
-constexpr std::size_t kNodes = 16;
-constexpr double kRoundTrip = 200.0;  // calibration target, cycles
-constexpr std::size_t kBytes = 16;    // one flit: zero-load == analytic
-constexpr int kPerNode = 200;         // packets per source node
-
-des::Process source(des::Simulation& sim, const parcel::Interconnect& net,
-                    NodeId src, double gap) {
-  // Phase the sources across one injection period: at the widest gap the
-  // offsets exceed any zero-load latency, so exactly one packet is in
-  // flight at a time (simultaneous injection would collide even at a
-  // trickle); at small gaps the offsets are negligible and the streams
-  // overlap fully.
-  co_await des::delay(sim, static_cast<double>(src) * gap / 16.0);
-  for (int i = 0; i < kPerNode; ++i) {
-    net.deliver(sim, src, 0, kBytes, [] {});
-    co_await des::delay(sim, gap);
-  }
-}
-
-/// Runs all-to-one traffic at one injection gap; returns (mean, p95, max,
-/// ejection-link utilization).
-struct HotspotResult {
-  double mean = 0.0, p95 = 0.0, max = 0.0, eject_util = 0.0;
-};
-
-HotspotResult run_hotspot(const std::string& kind, double gap) {
-  const auto net = make_contention_interconnect(kind, kNodes, kRoundTrip);
-  des::Simulation sim;
-  for (NodeId src = 1; src < kNodes; ++src) {
-    sim.spawn(source(sim, *net, src, gap));
-  }
-  sim.run();
-  const interconnect::PacketNetwork& pn = *net->network();
-  HotspotResult out;
-  out.mean = pn.latency_stats().mean();
-  out.max = pn.latency_stats().max();
-  // Coarse histogram bins can interpolate past the true maximum; cap at it.
-  out.p95 = std::min(pn.latency_histogram().quantile(0.95), out.max);
-  // Every route's last hop is the link entering node 0's router; find the
-  // hottest of them (the crossbar downlink / the grid's incoming edges).
-  for (std::uint32_t l = 0; l < pn.topology().links().size(); ++l) {
-    if (pn.topology().links()[l].dst_router == pn.topology().attach(0)) {
-      out.eject_util = std::max(out.eject_util, pn.link_stats(l).utilization);
-    }
-  }
-  return out;
-}
-
-double analytic_mean_to_zero(const parcel::Interconnect& net) {
-  double sum = 0.0;
-  for (NodeId src = 1; src < kNodes; ++src) {
-    sum += net.one_way_latency(src, 0);
-  }
-  return sum / static_cast<double>(kNodes - 1);
-}
-
-}  // namespace
+#include "common/config.hpp"
+#include "core/scenario.hpp"
 
 int main() {
+  using namespace pimsim;
+
+  constexpr std::size_t kNodes = 16;
+  constexpr double kRoundTrip = 200.0;  // calibration target, cycles
+  constexpr std::size_t kBytes = 16;    // one flit: zero-load == analytic
+  constexpr int kPerNode = 200;         // packets per source node
+
   std::printf(
       "All-to-one parcel traffic on %zu nodes, %d packets per source,\n"
       "%zu-byte parcels, every topology calibrated to a %.0f-cycle mean\n"
@@ -95,21 +35,14 @@ int main() {
       "predict at ANY load; the packet-level columns are measured.\n\n",
       kNodes, kPerNode, kBytes, kRoundTrip);
 
-  Table table("Hotspot collapse: analytic vs packet-level latency to node 0",
-              {"Network", "inj gap", "analytic mean", "measured mean",
-               "p95", "max", "eject util"});
-  for (const char* kind : {"flat", "mesh2d", "torus"}) {
-    const auto analytic = parcel::make_interconnect(kind, kNodes, kRoundTrip);
-    const double predicted = analytic_mean_to_zero(*analytic);
-    // From a trickle (near zero-load: matches the analytic model) to a
-    // flood (the single ejection port serializes 15 streams).
-    for (const double gap : {4096.0, 256.0, 32.0, 8.0, 4.0}) {
-      const HotspotResult r = run_hotspot(kind, gap);
-      table.add_row({std::string(kind), gap, predicted, r.mean, r.p95, r.max,
-                     r.eject_util});
-    }
-  }
-  table.print(std::cout);
+  // The scenario's defaults are exactly this walkthrough's grid; set
+  // them explicitly so the narrative above cannot drift from the run.
+  Config cfg;
+  cfg.set("nodes", std::to_string(kNodes));
+  cfg.set("roundtrip", std::to_string(kRoundTrip));
+  cfg.set("bytes", std::to_string(kBytes));
+  cfg.set("packets", std::to_string(kPerNode));
+  core::run_scenario("hotspot", cfg).print(std::cout);
 
   std::printf(
       "\nReading the table: at gap 4096 (staggered sources, one packet in\n"

@@ -7,6 +7,16 @@
 
 namespace pimsim {
 
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string piece;
+  while (std::getline(in, piece, ',')) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
 Config Config::from_args(int argc, const char* const* argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
@@ -90,10 +100,7 @@ std::vector<double> Config::get_list(const std::string& key,
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   std::vector<double> out;
-  std::istringstream in(it->second);
-  std::string piece;
-  while (std::getline(in, piece, ',')) {
-    if (piece.empty()) continue;
+  for (const std::string& piece : split_csv(it->second)) {
     char* end = nullptr;
     const double v = std::strtod(piece.c_str(), &end);
     require(end != nullptr && *end == '\0' && end != piece.c_str(),

@@ -15,6 +15,11 @@
 
 namespace pimsim {
 
+/// Splits comma-separated text into its non-empty pieces (the one
+/// splitter behind Config::get_list, scenario string lists, and the
+/// sweep driver's grid axes).
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& text);
+
 /// Parsed key=value options with typed, validated accessors.
 class Config {
  public:

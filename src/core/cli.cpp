@@ -1,0 +1,510 @@
+#include "core/cli.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+
+namespace pimsim::core {
+namespace {
+
+constexpr const char* kUsage = R"(pimsim — unified scenario driver for the conf_sc_UpchurchSB04 reproduction
+
+usage:
+  pimsim list [names|json]
+      Inventory of every registered scenario.  Default: human-readable
+      table with per-parameter docs.  `names`: one name per line (stable,
+      for scripts/CI).  `json`: full machine-readable inventory.
+
+  pimsim run <scenario> [key=value ...] [format=text|csv|json] [out=PATH]
+      Runs one scenario.  Unknown keys and mistyped values fail loudly,
+      listing the scenario's valid keys.  format defaults to text
+      (csv=1 is accepted as an alias for format=csv); out defaults to
+      stdout.
+
+  pimsim sweep <scenario> config=FILE [key=value ...] [jobs=N]
+                [format=text|csv|json] [out=PATH]
+      Runs a declarative parameter grid.  FILE holds key=value lines
+      ('#' comments); a comma-separated value for a *scalar* parameter
+      declares a grid axis (list-typed parameters pass through
+      verbatim).  Command-line key=value pairs override the file.
+      Points fan out across a SweepRunner pool of `jobs` threads
+      (0 = all cores); each point's own `threads` knob is pinned to 1
+      unless set explicitly.  Output is one table per point, preceded
+      by `# <scenario> <assignment>`.
+
+  pimsim verify <scenario>|all [strict=1]
+      Re-checks golden figure outputs on the scenario's reduced verify
+      grid: reruns at two sweep thread counts and requires bitwise-
+      identical CSV, and prints the output fingerprint.  With strict=1
+      a pinned fingerprint mismatch also fails (fingerprints are
+      compiler/libm sensitive, so this is opt-in).
+
+  pimsim help [scenario]
+      This text, or one scenario's parameter documentation.
+)";
+
+void print_param_lines(std::ostream& os, const Scenario& s) {
+  for (const ParamSpec& p : s.params) {
+    os << "    " << p.key << " (" << to_string(p.kind) << ", default "
+       << (p.default_value.empty() ? "-" : p.default_value);
+    if (!p.range.empty()) os << ", range " << p.range;
+    os << ") — " << p.doc << "\n";
+  }
+  if (s.params.empty()) os << "    (no parameters)\n";
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void print_list_json(std::ostream& os) {
+  const auto scenarios = ScenarioRegistry::global().all();
+  os << "{\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = *scenarios[i];
+    os << "    {\"name\": \"" << json_escape(s.name) << "\", \"summary\": \""
+       << json_escape(s.summary) << "\", \"paper\": \""
+       << json_escape(s.paper) << "\",\n     \"params\": [";
+    for (std::size_t j = 0; j < s.params.size(); ++j) {
+      const ParamSpec& p = s.params[j];
+      os << (j ? ",\n                " : "") << "{\"key\": \""
+         << json_escape(p.key) << "\", \"type\": \"" << to_string(p.kind)
+         << "\", \"default\": \"" << json_escape(p.default_value)
+         << "\", \"range\": \"" << json_escape(p.range) << "\", \"doc\": \""
+         << json_escape(p.doc) << "\"}";
+    }
+    os << "]}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void print_table_json(std::ostream& os, const Table& t) {
+  // Full round-trip precision: this is the machine-readable format, and
+  // the default 6 significant digits would silently round cycle counts.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"title\": \"" << json_escape(t.title()) << "\",\n"
+     << "  \"columns\": [";
+  for (std::size_t c = 0; c < t.columns().size(); ++c) {
+    os << (c ? ", " : "") << "\"" << json_escape(t.columns()[c]) << "\"";
+  }
+  os << "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    os << "    [";
+    const auto& row = t.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ", ";
+      if (const auto* s = std::get_if<std::string>(&row[c])) {
+        os << "\"" << json_escape(*s) << "\"";
+      } else if (const auto* i = std::get_if<std::int64_t>(&row[c])) {
+        os << *i;
+      } else {
+        const double v = std::get<double>(row[c]);
+        if (std::isfinite(v)) {
+          os << v;
+        } else {
+          os << "null";  // JSON has no inf/nan
+        }
+      }
+    }
+    os << "]" << (r + 1 < t.rows() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.precision(old_precision);
+}
+
+/// Renders `table` as format ("text" | "csv" | "json") to `os`, matching
+/// bench::emit byte-for-byte for text/CSV (table + one blank line).
+void render(std::ostream& os, const Table& table, const std::string& format) {
+  if (format == "csv") {
+    table.print_csv(os);
+    os << "\n";
+  } else if (format == "json") {
+    print_table_json(os, table);
+  } else {
+    ensure(format == "text", "render: format not validated by format_of");
+    table.print(os);
+    os << "\n";
+  }
+}
+
+/// Opens `out=` if given; otherwise returns nullptr (use stdout).
+std::unique_ptr<std::ofstream> open_out(const Config& cfg) {
+  const std::string path = cfg.get_string("out", "");
+  if (path.empty()) return nullptr;
+  auto file = std::make_unique<std::ofstream>(path);
+  require(file->good(), "pimsim: cannot open output file '" + path + "'");
+  return file;
+}
+
+/// Fails fast on an unwritable `out=` path (append mode: an existing
+/// file's content is untouched) so a typo'd path is caught before a
+/// potentially long generation run, while a failed run still never
+/// truncates previous results.
+void preflight_out(const Config& cfg) {
+  const std::string path = cfg.get_string("out", "");
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  require(probe.good(), "pimsim: cannot open output file '" + path + "'");
+}
+
+std::string format_of(const Config& cfg) {
+  // csv=1 is a bench_* compatibility alias, honored only when format=
+  // is absent — an explicit format= always wins (and gets validated).
+  std::string format;
+  if (cfg.has("format")) {
+    format = cfg.get_string("format", "text");
+    (void)cfg.get_bool("csv", false);  // consume the alias key if present
+  } else {
+    format = cfg.get_bool("csv", false) ? "csv" : "text";
+  }
+  // Validate up front, before a potentially long generation run.
+  if (format != "text" && format != "csv" && format != "json") {
+    throw InvalidArgument("pimsim: unknown format '" + format +
+                          "'; valid formats: text, csv, json");
+  }
+  return format;
+}
+
+Config config_from_tokens(const std::vector<std::string>& tokens) {
+  std::vector<const char*> argv{"pimsim"};
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  const std::string mode = args.empty() ? "" : args[0];
+  if (mode == "names") {
+    for (const auto& name : ScenarioRegistry::global().names()) {
+      std::cout << name << "\n";
+    }
+  } else if (mode == "json") {
+    print_list_json(std::cout);
+  } else if (mode.empty()) {
+    for (const Scenario* s : ScenarioRegistry::global().all()) {
+      std::cout << s->name << " — " << s->summary << "  [" << s->paper
+                << "]\n";
+      print_param_lines(std::cout, *s);
+    }
+  } else {
+    throw InvalidArgument("pimsim list: unknown mode '" + mode +
+                          "'; valid modes: names, json");
+  }
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  require(!args.empty(), "pimsim run: missing scenario name (try 'pimsim list')");
+  const Scenario& scenario = ScenarioRegistry::global().get(args[0]);
+  const Config cfg = config_from_tokens({args.begin() + 1, args.end()});
+  const std::string format = format_of(cfg);
+  preflight_out(cfg);
+
+  const auto start = std::chrono::steady_clock::now();
+  const Table table = run_scenario(scenario, cfg, {"csv", "format", "out"});
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  // Opened only after a successful run: a failed run (typo'd key, bad
+  // grid) must not truncate an existing results file.
+  const auto out = open_out(cfg);
+  render(out ? *out : std::cout, table, format);
+  std::cerr << "# generated in " << elapsed << " s\n";
+  return 0;
+}
+
+/// One expanded sweep point: the full Config plus its axis assignment.
+struct SweepPoint {
+  Config cfg;
+  std::string assignment;  // "k=v k2=v2" of the swept axes only
+};
+
+/// Expands comma-separated values of *scalar* scenario parameters into a
+/// cartesian grid (list-typed parameters keep their commas).  Axes nest
+/// in `key_order` — declaration order: config file first, then CLI
+/// overrides — with the last-declared axis varying fastest.
+std::vector<SweepPoint> expand_grid(const Scenario& scenario,
+                                    const Config& merged,
+                                    const std::vector<std::string>& key_order,
+                                    bool pin_inner_threads) {
+  struct Axis {
+    std::string key;
+    std::vector<std::string> values;
+  };
+  std::vector<Axis> axes;
+  Config base;
+  for (const std::string& key : key_order) {
+    const std::string value = merged.get_string(key, "");
+    const auto spec =
+        std::find_if(scenario.params.begin(), scenario.params.end(),
+                     [&](const ParamSpec& p) { return p.key == key; });
+    const bool is_list =
+        spec != scenario.params.end() && spec->kind == ParamSpec::Kind::kList;
+    if (!is_list && value.find(',') != std::string::npos) {
+      Axis axis{key, split_csv(value)};
+      require(!axis.values.empty(),
+              "pimsim sweep: empty grid for '" + key + "'");
+      axes.push_back(std::move(axis));
+    } else {
+      base.set(key, value);
+    }
+  }
+  const bool has_threads = std::any_of(
+      scenario.params.begin(), scenario.params.end(),
+      [](const ParamSpec& p) { return p.key == "threads"; });
+  if (pin_inner_threads && has_threads && !base.has("threads") &&
+      std::none_of(axes.begin(), axes.end(),
+                   [](const Axis& a) { return a.key == "threads"; })) {
+    base.set("threads", "1");  // outer pool owns the parallelism
+  }
+
+  std::vector<SweepPoint> points;
+  std::size_t total = 1;
+  for (const Axis& a : axes) total *= a.values.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    SweepPoint point{base, ""};
+    std::size_t rest = i;
+    // Last-declared axis varies fastest, like nested loops.
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      const std::string& v = axes[a].values[rest % axes[a].values.size()];
+      rest /= axes[a].values.size();
+      point.cfg.set(axes[a].key, v);
+      point.assignment = axes[a].key + "=" + v +
+                         (point.assignment.empty() ? "" : " ") +
+                         point.assignment;
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  require(!args.empty(), "pimsim sweep: missing scenario name");
+  const Scenario& scenario = ScenarioRegistry::global().get(args[0]);
+  const Config cli = config_from_tokens({args.begin() + 1, args.end()});
+
+  const std::string config_path = cli.get_string("config", "");
+  require(!config_path.empty(),
+          "pimsim sweep: missing config=FILE (declarative parameter grid)");
+  std::ifstream in(config_path);
+  require(in.good(),
+          "pimsim sweep: cannot read config file '" + config_path + "'");
+  std::string text, line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    text += line + " ";
+  }
+  Config merged = Config::from_string(text);
+  // Driver keys in the file would be silently shadowed by the CLI's
+  // (format) or mistaken for scenario parameters (jobs) — reject loudly.
+  for (const char* driver : {"config", "jobs", "format", "out", "csv"}) {
+    require(!merged.has(driver),
+            std::string("pimsim sweep: driver key '") + driver +
+                "' belongs on the command line, not in config file '" +
+                config_path + "'");
+  }
+  // Axis nesting follows declaration order: file keys first, in file
+  // order, then command-line keys (which also override file values).
+  std::vector<std::string> key_order;
+  const auto note_key = [&key_order](const std::string& token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return;
+    const std::string key = token.substr(0, eq);
+    if (std::find(key_order.begin(), key_order.end(), key) ==
+        key_order.end()) {
+      key_order.push_back(key);
+    }
+  };
+  {
+    std::istringstream tokens(text);
+    std::string token;
+    while (tokens >> token) note_key(token);
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) == 0) continue;  // as Config::from_args does
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    if (key == "config" || key == "jobs" || key == "format" || key == "out" ||
+        key == "csv") {
+      continue;
+    }
+    merged.set(key, cli.get_string(key, ""));
+    note_key(token);
+  }
+
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  const std::string format = format_of(cli);
+  preflight_out(cli);
+
+  const std::vector<SweepPoint> points =
+      expand_grid(scenario, merged, key_order, /*pin_inner_threads=*/true);
+  require(!points.empty(), "pimsim sweep: empty parameter grid");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<Table>> tables(points.size());
+  SweepRunner runner(jobs);
+  runner.for_each(points.size(), [&](std::size_t i) {
+    tables[i] = std::make_unique<Table>(
+        run_scenario(scenario, points[i].cfg, {"csv", "format", "out"}));
+  });
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  // Opened only after the whole grid ran: a failing point must not
+  // truncate an existing results file.
+  const auto out = open_out(cli);
+  std::ostream& os = out ? *out : std::cout;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    os << "# " << scenario.name
+       << (points[i].assignment.empty() ? "" : " " + points[i].assignment)
+       << "\n";
+    render(os, *tables[i], format);
+  }
+  std::cerr << "# swept " << points.size() << " point(s) on "
+            << runner.threads() << " thread(s) in " << elapsed << " s\n";
+  return 0;
+}
+
+std::string render_csv(const Scenario& scenario, const Config& cfg) {
+  std::ostringstream os;
+  run_scenario(scenario, cfg, {}).print_csv(os);
+  return os.str();
+}
+
+int verify_one(const Scenario& s, bool strict) {
+  Config cfg = Config::from_string(s.verify_params);
+  const bool has_threads = std::any_of(
+      s.params.begin(), s.params.end(),
+      [](const ParamSpec& p) { return p.key == "threads"; });
+
+  std::string first, second;
+  if (has_threads) {
+    Config serial = cfg, parallel = cfg;
+    serial.set("threads", "1");
+    parallel.set("threads", "3");
+    first = render_csv(s, serial);
+    second = render_csv(s, parallel);
+  } else {
+    first = render_csv(s, cfg);
+    second = render_csv(s, cfg);
+  }
+
+  const std::uint64_t fp = data_fingerprint(first);
+
+  int failures = 0;
+  std::cerr << "verify " << s.name << ": ";
+  if (first != second) {
+    std::cerr << "FAIL (reruns differ"
+              << (has_threads ? " across sweep_threads 1 vs 3)" : ")");
+    ++failures;
+  } else {
+    std::cerr << "determinism ok";
+  }
+  std::cerr << ", fingerprint " << std::hex << fp << std::dec;
+  if (s.verify_fingerprint != 0) {
+    if (fp == s.verify_fingerprint) {
+      std::cerr << " (matches pinned)";
+    } else if (strict) {
+      std::cerr << " MISMATCH vs pinned " << std::hex << s.verify_fingerprint
+                << std::dec;
+      ++failures;
+    } else {
+      std::cerr << " (differs from pinned " << std::hex
+                << s.verify_fingerprint << std::dec
+                << "; compiler/libm dependent — strict=1 to enforce)";
+    }
+  } else {
+    std::cerr << " (unpinned)";
+  }
+  std::cerr << "\n";
+  return failures;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  require(!args.empty(),
+          "pimsim verify: missing scenario name (or 'all')");
+  const Config cfg = config_from_tokens({args.begin() + 1, args.end()});
+  const bool strict = cfg.get_bool("strict", false);
+  cfg.reject_unused();
+
+  int failures = 0;
+  if (args[0] == "all") {
+    for (const Scenario* s : ScenarioRegistry::global().all()) {
+      failures += verify_one(*s, strict);
+    }
+  } else {
+    failures += verify_one(ScenarioRegistry::global().get(args[0]), strict);
+  }
+  std::cerr << (failures == 0 ? "verify: all ok\n" : "verify: FAILURES\n");
+  return failures;
+}
+
+int cmd_help(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const Scenario& s = ScenarioRegistry::global().get(args[0]);
+  std::cout << s.name << " — " << s.summary << "\n  paper: " << s.paper
+            << "\n  parameters:\n";
+  print_param_lines(std::cout, s);
+  if (!s.verify_params.empty()) {
+    std::cout << "  verify grid: " << s.verify_params << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cli_main(int argc, char** argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+        args[0] == "-h") {
+      return cmd_help(args.empty() ? args
+                                   : std::vector<std::string>(
+                                         args.begin() + 1, args.end()));
+    }
+    const std::string command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (command == "list") return cmd_list(rest);
+    if (command == "run") return cmd_run(rest);
+    if (command == "sweep") return cmd_sweep(rest);
+    if (command == "verify") return cmd_verify(rest);
+    throw InvalidArgument(
+        "pimsim: unknown command '" + command +
+        "'; valid commands: list, run, sweep, verify, help");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace pimsim::core

@@ -1,0 +1,17 @@
+// The `pimsim` command-line driver over the scenario registry.
+//
+// Subcommands (see cli.cpp for the full usage text):
+//   pimsim list [names|json]          scenario inventory with parameter docs
+//   pimsim run <scenario> [k=v ...]   one scenario, text/CSV/JSON to a path
+//   pimsim sweep <scenario> config=f  declarative grid through SweepRunner
+//   pimsim verify <scenario>|all      determinism + golden-output recheck
+//   pimsim help [scenario]            usage / one scenario's parameter docs
+#pragma once
+
+namespace pimsim::core {
+
+/// Runs the pimsim CLI; returns the process exit code (0 success,
+/// 1 usage/configuration error, N > 0 = N verify failures).
+int cli_main(int argc, char** argv);
+
+}  // namespace pimsim::core

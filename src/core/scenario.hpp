@@ -1,0 +1,97 @@
+// Scenario registry: the single seam every experiment plugs into.
+//
+// Each reproduced figure, table, ablation, and traffic study registers
+// itself as a named Scenario with typed, self-describing parameters
+// (name, default, range, doc string) and a generator returning the
+// common::Table it plots.  The `pimsim` CLI (src/core/cli.hpp) drives the
+// registry — list / run / sweep / verify — and the bench_* binaries are
+// thin wrappers over the same registrations (bench::run_scenario_main),
+// so a new workload or topology study is ~30 lines of registration
+// instead of a new build target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+
+namespace pimsim::core {
+
+/// One typed, documented scenario parameter (a key=value knob).
+struct ParamSpec {
+  enum class Kind { kInt, kDouble, kBool, kString, kList };
+
+  std::string key;
+  Kind kind = Kind::kDouble;
+  std::string default_value;  ///< rendered default, for documentation
+  std::string range;          ///< valid range or choices, human-readable
+  std::string doc;            ///< one-line description
+};
+
+[[nodiscard]] const char* to_string(ParamSpec::Kind kind);
+
+/// A registered experiment: a named generator from key=value parameters
+/// to the Table the paper figure/claim plots.
+struct Scenario {
+  std::string name;     ///< CLI name, e.g. "fig5"
+  std::string summary;  ///< one-line description of what it reproduces
+  std::string paper;    ///< paper anchor, e.g. "Section 3.1, Figure 5"
+  std::vector<ParamSpec> params;
+  std::function<Table(const Config&)> make;
+
+  /// Reduced-grid parameters for `pimsim verify` (fast + deterministic).
+  std::string verify_params;
+  /// FNV-1a fingerprint of the verify run's CSV output; 0 = not pinned.
+  /// Fingerprints are compiler/libm sensitive, so `pimsim verify` only
+  /// enforces them with strict=1 (the determinism recheck always runs).
+  std::uint64_t verify_fingerprint = 0;
+};
+
+/// Name -> Scenario map with loud duplicate/lookup failures.
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario; throws InvalidArgument on an empty or
+  /// duplicate name, or a scenario without a generator.
+  void add(Scenario scenario);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Throws InvalidArgument enumerating the registered names on a miss.
+  [[nodiscard]] const Scenario& get(const std::string& name) const;
+  /// All scenarios, name-sorted.
+  [[nodiscard]] std::vector<const Scenario*> all() const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The process-wide registry, preloaded with every built-in scenario.
+  [[nodiscard]] static ScenarioRegistry& global();
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// Registers the built-in figure/table/ablation/traffic scenarios into
+/// `registry` (global() calls this once on first use).
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+/// Validates `cfg` against the scenario's declared parameters and runs
+/// it.  Unknown keys and values that fail to parse as the declared type
+/// both throw InvalidArgument whose message lists the valid keys.
+/// `extra_allowed` names driver keys (csv=, format=, out=) the caller
+/// consumes itself and the scenario must tolerate.
+[[nodiscard]] Table run_scenario(const Scenario& scenario, const Config& cfg,
+                                 const std::vector<std::string>& extra_allowed = {});
+/// Same, looking `name` up in the global registry.
+[[nodiscard]] Table run_scenario(const std::string& name, const Config& cfg,
+                                 const std::vector<std::string>& extra_allowed = {});
+
+/// FNV-1a 64 over arbitrary bytes — the one hash behind every pinned
+/// verify fingerprint.
+[[nodiscard]] std::uint64_t data_fingerprint(const std::string& data);
+/// data_fingerprint of the table's CSV rendering (verify goldens).
+[[nodiscard]] std::uint64_t table_fingerprint(const Table& table);
+
+}  // namespace pimsim::core

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fails (exit 1) on intra-repo markdown links pointing at missing files.
+#
+# Checks every tracked *.md file for inline links `[text](target)`;
+# http(s)/mailto links and pure #anchors are skipped, `#section` suffixes
+# on file targets are stripped.  Targets are resolved relative to the
+# linking file, or to the repo root when they start with '/'.
+#
+# Usage: tools/check_markdown_links.sh   (from anywhere inside the repo)
+set -u
+cd "$(dirname "$0")/.."
+
+if git rev-parse --git-dir > /dev/null 2>&1; then
+  # --others --exclude-standard: new, not-yet-committed docs count too.
+  files=$(git ls-files --cached --others --exclude-standard '*.md')
+else
+  files=$(find . -name 'build*' -prune -o -name '*.md' -print)
+fi
+
+fail=0
+checked=0
+for md in $files; do
+  dir=$(dirname "$md")
+  # One link target per line; links in this repo never contain spaces.
+  for link in $(grep -oE '\]\([^) ]+\)' "$md" 2>/dev/null |
+                sed -e 's/^](//' -e 's/)$//'); do
+    case "$link" in
+      http://* | https://* | mailto:*) continue ;;
+      '#'*) continue ;;
+    esac
+    target="${link%%#*}"
+    case "$target" in
+      /*) resolved=".$target" ;;
+      *) resolved="$dir/$target" ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN LINK: $md -> $link (no such file: $resolved)"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "markdown links ok ($checked intra-repo link(s) checked)"
+fi
+exit "$fail"

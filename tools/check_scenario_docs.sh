@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Fails when the scenario registry and docs/MODEL_MAPPING.md drift apart:
+# every name printed by `pimsim list names` must appear in the doc's
+# command column as `pimsim run <name>`, and every `pimsim run <name>` in
+# the doc must name a registered scenario.
+#
+# Usage: tools/check_scenario_docs.sh <path-to-pimsim-binary> [mapping.md]
+set -eu
+bin=${1:?usage: check_scenario_docs.sh <pimsim-binary> [mapping.md]}
+doc=${2:-"$(dirname "$0")/../docs/MODEL_MAPPING.md"}
+
+registry=$(mktemp)
+documented=$(mktemp)
+trap 'rm -f "$registry" "$documented"' EXIT
+
+"$bin" list names | sort -u > "$registry"
+grep -oE 'pimsim run [A-Za-z0-9_]+' "$doc" | awk '{print $3}' | sort -u \
+  > "$documented"
+
+if ! diff -u "$registry" "$documented"; then
+  echo ""
+  echo "DRIFT: 'pimsim list names' (left) vs 'pimsim run <name>' commands"
+  echo "in $doc (right).  Register the scenario or document it."
+  exit 1
+fi
+echo "scenario inventory matches $doc ($(wc -l < "$registry") scenario(s))"

@@ -1,0 +1,4 @@
+// Entry point of the unified `pimsim` scenario CLI (src/core/cli.hpp).
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) { return pimsim::core::cli_main(argc, argv); }
