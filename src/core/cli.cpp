@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -16,6 +17,7 @@
 #include "common/table.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+#include "des/audit.hpp"
 
 namespace pimsim::core {
 namespace {
@@ -29,10 +31,13 @@ usage:
       for scripts/CI).  `json`: full machine-readable inventory.
 
   pimsim run <scenario> [key=value ...] [format=text|csv|json] [out=PATH]
+              [audit=1]
       Runs one scenario.  Unknown keys and mistyped values fail loudly,
       listing the scenario's valid keys.  format defaults to text
       (csv=1 is accepted as an alias for format=csv); out defaults to
-      stdout.
+      stdout.  audit=1 turns on the event kernel's determinism audit
+      (event-chain hashing + invariant sweeps; see docs/DETERMINISM.md)
+      and reports the chain summary on stderr.
 
   pimsim sweep <scenario> config=FILE [key=value ...] [jobs=N]
                 [format=text|csv|json] [out=PATH]
@@ -45,12 +50,16 @@ usage:
       unless set explicitly.  Output is one table per point, preceded
       by `# <scenario> <assignment>`.
 
-  pimsim verify <scenario>|all [strict=1]
+  pimsim verify <scenario>|all [strict=1] [audit=1]
       Re-checks golden figure outputs on the scenario's reduced verify
       grid: reruns at two sweep thread counts and requires bitwise-
       identical CSV, and prints the output fingerprint.  With strict=1
       a pinned fingerprint mismatch also fails (fingerprints are
-      compiler/libm sensitive, so this is opt-in).
+      compiler/libm sensitive, so this is opt-in).  With audit=1 both
+      passes also run under the kernel's determinism audit, and the
+      aggregated event-chain hashes must match across thread counts —
+      a divergence check on the event streams themselves, not just the
+      rendered CSV.
 
   pimsim help [scenario]
       This text, or one scenario's parameter documentation.
@@ -216,15 +225,35 @@ int cmd_list(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Turns on kernel audit mode for every Simulation constructed after
+/// this call (the PIMSIM_AUDIT env var is read in the Simulation
+/// constructor, which is how the flag reaches simulations buried inside
+/// figure generators) and clears the process-wide chain aggregate.
+void enable_audit() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called before any sweep
+  // thread is spawned; only Simulation constructors read it back.
+  ::setenv("PIMSIM_AUDIT", "1", 1);
+  des::AuditRegistry::global().reset();
+}
+
+void report_audit(std::ostream& os) {
+  const auto sum = des::AuditRegistry::global().snapshot();
+  os << "# audit: " << sum.simulations << " simulation(s), " << sum.events
+     << " event(s), chain " << std::hex << sum.combined << std::dec << "\n";
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   require(!args.empty(), "pimsim run: missing scenario name (try 'pimsim list')");
   const Scenario& scenario = ScenarioRegistry::global().get(args[0]);
   const Config cfg = config_from_tokens({args.begin() + 1, args.end()});
   const std::string format = format_of(cfg);
+  const bool audit = cfg.get_bool("audit", false);
   preflight_out(cfg);
 
+  if (audit) enable_audit();
   const auto start = std::chrono::steady_clock::now();
-  const Table table = run_scenario(scenario, cfg, {"csv", "format", "out"});
+  const Table table =
+      run_scenario(scenario, cfg, {"csv", "format", "out", "audit"});
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -232,6 +261,7 @@ int cmd_run(const std::vector<std::string>& args) {
   // grid) must not truncate an existing results file.
   const auto out = open_out(cfg);
   render(out ? *out : std::cout, table, format);
+  if (audit) report_audit(std::cerr);
   std::cerr << "# generated in " << elapsed << " s\n";
   return 0;
 }
@@ -398,22 +428,34 @@ std::string render_csv(const Scenario& scenario, const Config& cfg) {
   return os.str();
 }
 
-int verify_one(const Scenario& s, bool strict) {
+int verify_one(const Scenario& s, bool strict, bool audit) {
   Config cfg = Config::from_string(s.verify_params);
   const bool has_threads = std::any_of(
       s.params.begin(), s.params.end(),
       [](const ParamSpec& p) { return p.key == "threads"; });
+
+  // With audit on, each pass gets its own chain aggregate: the two
+  // passes must produce the same combined event-chain hash, proving the
+  // dispatched event streams — not just the rendered CSV — are
+  // identical across thread counts.
+  des::AuditRegistry::Summary chain_a, chain_b;
+  const auto pass = [&](const Config& c, des::AuditRegistry::Summary& chain) {
+    if (audit) des::AuditRegistry::global().reset();
+    std::string csv = render_csv(s, c);
+    if (audit) chain = des::AuditRegistry::global().snapshot();
+    return csv;
+  };
 
   std::string first, second;
   if (has_threads) {
     Config serial = cfg, parallel = cfg;
     serial.set("threads", "1");
     parallel.set("threads", "3");
-    first = render_csv(s, serial);
-    second = render_csv(s, parallel);
+    first = pass(serial, chain_a);
+    second = pass(parallel, chain_b);
   } else {
-    first = render_csv(s, cfg);
-    second = render_csv(s, cfg);
+    first = pass(cfg, chain_a);
+    second = pass(cfg, chain_b);
   }
 
   const std::uint64_t fp = data_fingerprint(first);
@@ -426,6 +468,18 @@ int verify_one(const Scenario& s, bool strict) {
     ++failures;
   } else {
     std::cerr << "determinism ok";
+  }
+  if (audit) {
+    if (chain_a == chain_b) {
+      std::cerr << ", audit chain " << std::hex << chain_a.combined
+                << std::dec << " ok (" << chain_a.simulations << " sims, "
+                << chain_a.events << " events)";
+    } else {
+      std::cerr << ", audit FAIL (event chains diverge: " << std::hex
+                << chain_a.combined << " vs " << chain_b.combined << std::dec
+                << ")";
+      ++failures;
+    }
   }
   std::cerr << ", fingerprint " << std::hex << fp << std::dec;
   if (s.verify_fingerprint != 0) {
@@ -452,15 +506,18 @@ int cmd_verify(const std::vector<std::string>& args) {
           "pimsim verify: missing scenario name (or 'all')");
   const Config cfg = config_from_tokens({args.begin() + 1, args.end()});
   const bool strict = cfg.get_bool("strict", false);
+  const bool audit = cfg.get_bool("audit", false);
   cfg.reject_unused();
 
+  if (audit) enable_audit();
   int failures = 0;
   if (args[0] == "all") {
     for (const Scenario* s : ScenarioRegistry::global().all()) {
-      failures += verify_one(*s, strict);
+      failures += verify_one(*s, strict, audit);
     }
   } else {
-    failures += verify_one(ScenarioRegistry::global().get(args[0]), strict);
+    failures +=
+        verify_one(ScenarioRegistry::global().get(args[0]), strict, audit);
   }
   std::cerr << (failures == 0 ? "verify: all ok\n" : "verify: FAILURES\n");
   return failures;

@@ -126,6 +126,10 @@ std::vector<std::string> ScenarioRegistry::names() const {
 }
 
 ScenarioRegistry& ScenarioRegistry::global() {
+  // The registry is filled once before main()'s first lookup and only
+  // read afterwards; list() sorts by name, so registration order never
+  // reaches any output.
+  // lint:allow(mutable-static): write-once registry, read-only after startup
   static ScenarioRegistry* registry = [] {
     auto* r = new ScenarioRegistry;
     register_builtin_scenarios(*r);
@@ -249,7 +253,8 @@ Table make_hotspot_table(const Config& cfg) {
         sim.spawn(hotspot_source(sim, *net, src, nodes, gap, packets, bytes));
       }
       sim.run();
-      const interconnect::PacketNetwork& pn = *net->network();
+      // Non-const: link_stats() folds the link's deferred credit ledger.
+      interconnect::PacketNetwork& pn = *net->network();
       const double max = pn.latency_stats().max();
       // Coarse histogram bins can interpolate past the true maximum.
       const double p95 =

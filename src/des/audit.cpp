@@ -1,0 +1,74 @@
+#include "des/audit.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pimsim::des {
+
+std::optional<std::uint64_t> first_divergence(const AuditLog& a,
+                                              const AuditLog& b) {
+  const auto& ca = a.checkpoints();
+  const auto& cb = b.checkpoints();
+  const std::size_t shared = std::min(ca.size(), cb.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if (ca[i] != cb[i]) {
+      // Window i covers events [i * interval, (i + 1) * interval); every
+      // earlier checkpoint matched, so the first difference is inside it.
+      return i * AuditLog::kCheckpointInterval;
+    }
+  }
+  if (a.events() != b.events()) {
+    // Identical while both ran; the shorter run's end is the divergence.
+    return std::min(a.events(), b.events());
+  }
+  if (a.hash() != b.hash()) {
+    // Equal counts, all full checkpoints equal: the tail window differs.
+    return shared * AuditLog::kCheckpointInterval;
+  }
+  return std::nullopt;
+}
+
+// The one deliberately process-global piece of audit state: simulations
+// are constructed deep inside figure generators on sweep worker threads,
+// so their chains must surface somewhere thread-safe and commutative.
+struct AuditRegistry::Impl {
+  mutable std::mutex mutex;
+  Summary summary;
+};
+
+AuditRegistry::Impl& AuditRegistry::impl() const {
+  // The audit aggregate is inherently process-scoped (simulations report
+  // from arbitrary sweep threads); all access is mutex-serialized and
+  // combined commutatively, so thread schedule cannot affect any value.
+  // lint:allow(mutable-static): process-scoped by design, mutex-serialized
+  static Impl instance;
+  return instance;
+}
+
+AuditRegistry& AuditRegistry::global() {
+  // lint:allow(mutable-static): stateless handle to the Impl singleton above
+  static AuditRegistry registry;
+  return registry;
+}
+
+void AuditRegistry::absorb(const AuditLog& log) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.summary.simulations += 1;
+  state.summary.events += log.events();
+  state.summary.combined ^= log.hash();
+}
+
+AuditRegistry::Summary AuditRegistry::snapshot() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.summary;
+}
+
+void AuditRegistry::reset() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.summary = Summary{};
+}
+
+}  // namespace pimsim::des

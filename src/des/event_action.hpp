@@ -101,6 +101,14 @@ class EventAction {
   /// True while a callback is stored (empty after invoke()/reset()).
   explicit operator bool() const noexcept { return kind_ != Kind::kEmpty; }
 
+  /// Stable small integer identifying the payload kind (0 = empty,
+  /// 1 = resume, 2 = small, 3 = boxed, 4 = static).  Fed into the audit
+  /// hash chain so two runs dispatching different action kinds at the
+  /// same (time, seq) still diverge.
+  [[nodiscard]] std::uint8_t kind_id() const noexcept {
+    return static_cast<std::uint8_t>(kind_);
+  }
+
   /// Runs the callback and leaves the action empty.
   void invoke() {
     const Kind kind = std::exchange(kind_, Kind::kEmpty);

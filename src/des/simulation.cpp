@@ -1,25 +1,41 @@
 #include "des/simulation.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "des/process.hpp"
 
 namespace pimsim::des {
 
-Simulation::Simulation() = default;
+Simulation::Simulation() {
+  // PIMSIM_AUDIT=1 turns on the determinism audit for every simulation
+  // in the process — the seam `pimsim run/verify ... audit=1` uses to
+  // reach simulations constructed deep inside figure generators.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
+  // in-process calls setenv concurrently with simulation construction.
+  const char* audit_env = std::getenv("PIMSIM_AUDIT");
+  if (audit_env != nullptr && audit_env[0] != '\0' &&
+      !(audit_env[0] == '0' && audit_env[1] == '\0')) {
+    set_audit(true);
+  }
+}
 
 Simulation::~Simulation() {
-  // Destroy any still-suspended process frames. Guard against coroutine
-  // destructors scheduling new work or unregistering re-entrantly.
+  // Destroy any still-suspended process frames, in deterministic
+  // registration order. Guard against coroutine destructors scheduling
+  // new work or unregistering re-entrantly.
   destroying_ = true;
-  auto frames = live_;
-  live_.clear();
+  auto frames = std::move(live_order_);
+  live_order_.clear();
+  live_index_.clear();
   for (void* addr : frames) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }
   // Pending EventActions (and anything they own) die with slots_.
+  if (audit_) AuditRegistry::global().absorb(*audit_);
 }
 
 // --- slot pool -----------------------------------------------------------
@@ -176,6 +192,13 @@ void Simulation::dispatch(const HeapEntry& entry) {
   // cancel, and must observe this event as already dispatched.
   EventAction action = std::move(slots_[entry.slot].action);
   release_slot(entry.slot);
+  // Heap corruption that survives pop_next's sift repair still surfaces
+  // as an out-of-order dispatch; in audit mode that is fatal, not silent.
+  if (audit_) {
+    ensure(entry.time() >= now_,
+           "Simulation audit: dispatch time moved backwards (calendar "
+           "order violated)");
+  }
   now_ = entry.time();
   current_seq_ = entry.seq();
   ++dispatched_;
@@ -183,6 +206,18 @@ void Simulation::dispatch(const HeapEntry& entry) {
     const EventId id =
         (static_cast<EventId>(entry.gen) << 32) | static_cast<EventId>(entry.slot);
     trace(TraceKind::kEventDispatched, "event", std::to_string(id));
+  }
+  if (audit_) {
+    audit_->record(now_, current_seq_, action.kind_id());
+    if (audit_countdown_ == 0) {
+      audit_check_now();
+      // Next sweep after ~pool-size events: the sweep is O(slots +
+      // calendar), so the audit tax stays O(1) amortized per dispatch.
+      audit_countdown_ = std::max<std::uint64_t>(kAuditCheckFloor,
+                                                 slots_.size());
+    } else {
+      --audit_countdown_;
+    }
   }
   action.invoke();
   current_seq_ = 0;  // outside dispatch the documented value is 0
@@ -222,6 +257,53 @@ bool Simulation::step() {
   return true;
 }
 
+// --- determinism audit ---------------------------------------------------
+
+void Simulation::set_audit(bool enabled) {
+  if (enabled) {
+    if (!audit_) {
+      audit_ = std::make_unique<AuditLog>();
+      audit_countdown_ = 0;  // sweep on the next dispatch
+    }
+  } else {
+    audit_.reset();
+  }
+}
+
+void Simulation::audit_check_now() const {
+  // 4-ary heap order: every entry's key must not precede its parent's.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    ensure(!before(heap_[i], heap_[parent]),
+           "Simulation audit: heap order violated (child precedes parent)");
+  }
+  // Slot pool: the free list must be acyclic, in range, and account for
+  // exactly the slots that live_events_ does not.
+  std::size_t free_count = 0;
+  for (std::uint32_t index = free_head_; index != kNoSlot;
+       index = slots_[index].next_free) {
+    ensure(index < slots_.size(),
+           "Simulation audit: free-list index out of range");
+    ensure(++free_count <= slots_.size(),
+           "Simulation audit: free-list cycle");
+  }
+  ensure(free_count + live_events_ == slots_.size(),
+         "Simulation audit: slot accounting mismatch (free + live != pool)");
+  for (const Slot& slot : slots_) {
+    ensure(slot.generation != 0,
+           "Simulation audit: slot generation hit the 0 sentinel");
+  }
+  // Calendar: stale entries are a subset of calendar entries.
+  ensure(stale_ <= calendar_entries(),
+         "Simulation audit: stale count exceeds calendar size");
+}
+
+void Simulation::corrupt_heap_for_test() {
+  ensure(heap_.size() >= 2,
+         "corrupt_heap_for_test: needs >= 2 future events");
+  std::swap(heap_.front().key, heap_.back().key);
+}
+
 // --- process layer hooks -------------------------------------------------
 
 void Simulation::spawn(Process process) {
@@ -233,12 +315,24 @@ void Simulation::spawn(Process process) {
 }
 
 void Simulation::register_process(std::coroutine_handle<> h) {
-  live_.insert(h.address());
+  live_index_.emplace(h.address(), live_order_.size());
+  live_order_.push_back(h.address());
 }
 
 void Simulation::unregister_process(std::coroutine_handle<> h) {
   if (destroying_) return;
-  live_.erase(h.address());
+  const auto it = live_index_.find(h.address());
+  if (it == live_index_.end()) return;
+  // Swap-and-pop: O(1), and deterministic because the sequence of
+  // register/unregister calls is itself deterministic — addresses are
+  // only keys, never ordered over.
+  const std::size_t pos = it->second;
+  live_index_.erase(it);
+  if (pos + 1 != live_order_.size()) {
+    live_order_[pos] = live_order_.back();
+    live_index_[live_order_[pos]] = pos;
+  }
+  live_order_.pop_back();
   if (tracer_) trace(TraceKind::kProcessFinished, "process");
 }
 

@@ -29,11 +29,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "des/audit.hpp"
 #include "des/event_action.hpp"
 #include "des/trace.hpp"
 
@@ -108,7 +110,9 @@ class Simulation {
   void spawn(Process process);
 
   /// Number of live (spawned, unfinished) processes.
-  [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
+  [[nodiscard]] std::size_t live_processes() const {
+    return live_order_.size();
+  }
 
   /// Installs (or removes, with nullptr) a tracer. Not owned.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
@@ -122,6 +126,35 @@ class Simulation {
              const std::string& detail = {}) const {
     if (tracer_) tracer_->record(TraceRecord{now_, kind, label, detail});
   }
+
+  // --- determinism audit mode (see des/audit.hpp) ------------------------
+  //
+  // When enabled, every dispatch folds its (time, seq, action-kind) tuple
+  // into an FNV-1a hash chain, and O(1)-amortized invariant sweeps cover
+  // the 4-ary heap order, the slot-pool generations/free list, and any
+  // component self-checks keyed off audit_enabled() (the packet network
+  // audits its credit ledgers).  When off, the cost is one predicted
+  // branch per dispatch — the tracing_enabled() pattern, held to the
+  // bench_engine floors.  The PIMSIM_AUDIT=1 environment variable turns
+  // it on at construction, which is how `pimsim run/verify ... audit=1`
+  // reaches simulations buried inside figure generators.
+
+  /// Enables/disables audit mode.  Disabling discards the chain without
+  /// reporting it to the AuditRegistry.
+  void set_audit(bool enabled);
+  /// Fast guard, mirroring tracing_enabled(): components gate their own
+  /// audit-mode invariant checks behind this.
+  [[nodiscard]] bool audit_enabled() const { return audit_ != nullptr; }
+  /// The event-chain log, or nullptr when audit mode is off.
+  [[nodiscard]] const AuditLog* audit_log() const { return audit_.get(); }
+  /// Runs the kernel invariant sweep immediately (throws LogicError on a
+  /// violated invariant).  Audit mode runs this automatically on an
+  /// O(1)-amortized cadence; tests call it directly.
+  void audit_check_now() const;
+  /// Test-only: deliberately breaks the heap-order invariant (swaps the
+  /// root's key with the last entry's) so tests can prove the audit
+  /// sweep catches corruption.  Requires >= 2 distinct heap entries.
+  void corrupt_heap_for_test();
 
   // --- hooks for deterministic deferred-event components -----------------
   //
@@ -267,10 +300,21 @@ class Simulation {
   std::size_t now_head_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
-  std::unordered_set<void*> live_;
+  // Live process frames in deterministic (insertion/swap) order: the
+  // destructor tears frames down in this order, so shutdown side effects
+  // cannot depend on pointer values.  The index map is lookup-only.
+  std::vector<void*> live_order_;
+  // lint:allow(unordered-container): lookup-only address->position index
+  std::unordered_map<void*, std::size_t> live_index_;
   std::exception_ptr pending_exception_;
   Tracer* tracer_ = nullptr;
   bool destroying_ = false;
+  // Audit mode: null when off, so the dispatch hot path pays one branch.
+  std::unique_ptr<AuditLog> audit_;
+  /// Dispatches until the next invariant sweep (amortizes the O(slots +
+  /// calendar) sweep to O(1) per event).
+  std::uint64_t audit_countdown_ = 0;
+  static constexpr std::uint64_t kAuditCheckFloor = 64;
 };
 
 // --- inline scheduling fast path ----------------------------------------

@@ -141,11 +141,10 @@ Cycles PacketNetwork::zero_load_latency(NodeId src, NodeId dst,
                           flit_count(bytes, cfg_.flit_bytes), cfg_);
 }
 
-LinkStats PacketNetwork::link_stats(std::uint32_t link) const {
+LinkStats PacketNetwork::link_stats(std::uint32_t link) {
   require(link < links_.size(), "PacketNetwork::link_stats: bad link id");
-  auto* self = const_cast<PacketNetwork*>(this);
-  LinkState& l = self->links_[link];
-  self->fold_ledger(l, sim_.now());  // observationally const
+  LinkState& l = links_[link];
+  fold_ledger(l, sim_.now());
   LinkStats out;
   out.flits = l.flits;
   out.utilization = l.busy.mean(sim_.now());
@@ -533,11 +532,32 @@ void PacketNetwork::run_train(std::uint32_t li, SegRing* ring,
   }
 }
 
+// Credit conservation for one link: folded credits stay in range, every
+// pending ledger run still owes at least one return, and folded +
+// pending returns never exceed the downstream buffer's capacity.  A
+// violation here is the packet-level analogue of a heap-order break in
+// the kernel: state that *will* corrupt results, caught at the event
+// where it first exists.
+void PacketNetwork::audit_check_link(const LinkState& link) const {
+  ensure(link.credits >= 0,
+         "PacketNetwork audit: negative folded credit count");
+  std::int64_t pending = 0;
+  for (const OpRun& run : link.ledger) {
+    ensure(run.left > 0, "PacketNetwork audit: drained run left in ledger");
+    pending += static_cast<std::int64_t>(run.left);
+  }
+  ensure(link.credits + pending <= static_cast<std::int64_t>(cfg_.credits),
+         "PacketNetwork audit: credits + pending returns exceed capacity");
+}
+
 // --- serialization end ---------------------------------------------------
 
 void PacketNetwork::on_advance(std::uint32_t li) {
   LinkState& link = links_[li];
   fold_ledger(link, sim_.now());
+  // Audit mode: self-check this link's credit conservation on the same
+  // event that already walks its ledger (so the sweep stays O(ledger)).
+  if (sim_.audit_enabled()) audit_check_link(link);
   if (link.train_active) {
     // Train epilogue: every per-flit effect (credit returns, occupancy,
     // counters, deliveries) was ledgered or batch-appended when the train

@@ -101,7 +101,10 @@ class PacketNetwork {
   }
   /// Total link traversals completed by flits (the bench's work unit).
   [[nodiscard]] std::uint64_t flit_hops() const { return flit_hops_; }
-  [[nodiscard]] LinkStats link_stats(std::uint32_t link) const;
+  /// Non-const: reading the stats folds the link's deferred credit
+  /// ledger up to now() (observable results are unchanged; the fold is
+  /// when pending occupancy decrements land in the accumulators).
+  [[nodiscard]] LinkStats link_stats(std::uint32_t link);
   /// End-to-end delivered-packet latency, in cycles.
   [[nodiscard]] const RunningStats& latency_stats() const { return latency_; }
   [[nodiscard]] const Histogram& latency_histogram() const {
@@ -221,6 +224,9 @@ class PacketNetwork {
   void on_credit_wake(std::uint32_t link);
 
   void fold_ledger(LinkState& link, double t);
+  /// Audit-mode credit-conservation check (see des/audit.hpp); called on
+  /// link-advance events when sim_.audit_enabled().
+  void audit_check_link(const LinkState& link) const;
   void push_run(LinkState& link, double first, double stride,
                 std::uint32_t left);
   void release_credit(std::uint32_t link);

@@ -31,6 +31,7 @@ class MemoryStore {
   [[nodiscard]] std::size_t footprint_words() const { return words_.size(); }
 
  private:
+  // lint:allow(unordered-container): sparse vaddr->word store, lookup-only
   std::unordered_map<std::uint64_t, std::uint64_t> words_;
 };
 
@@ -60,6 +61,7 @@ class ActionRegistry {
     std::string name;
     MethodFn fn;
   };
+  // lint:allow(unordered-container): method-id dispatch table, lookup-only
   std::unordered_map<std::uint32_t, Entry> methods_;
 };
 

@@ -144,6 +144,7 @@ class ParcelMachine {
   std::vector<std::unique_ptr<Node>> nodes_;
   // Outstanding requests keyed by continuation context id.
   std::uint64_t next_context_ = 1;
+  // lint:allow(unordered-container): context-id lookup on reply, never iterated
   std::unordered_map<std::uint64_t, std::shared_ptr<RequestHandle::State>>
       pending_;
 };

@@ -4,11 +4,13 @@
 // leak, and bitwise determinism of the Figure 12 pipeline.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 #include "core/figures.hpp"
+#include "des/audit.hpp"
 #include "des/process.hpp"
 #include "des/simulation.hpp"
 #include "parcel/network.hpp"
@@ -249,6 +251,79 @@ TEST(FigureDeterminism, Fig12BitwiseIdenticalAcrossSweepThreads) {
   EXPECT_EQ(serial, render(3));
   EXPECT_EQ(serial, render(8));
   EXPECT_FALSE(serial.empty());
+}
+
+// --- determinism audit mode (des/audit.hpp) ------------------------------
+
+/// An audited kernel workload long enough to cross checkpoint windows;
+/// `first_time` perturbs the very first dispatched event.
+des::AuditLog audited_workload(double first_time) {
+  des::Simulation sim;
+  sim.set_audit(true);
+  sim.schedule_at(first_time, [] {});
+  for (int i = 0; i < 1500; ++i) {
+    sim.schedule_at(10.0 + i, [] {});
+  }
+  sim.run();
+  EXPECT_TRUE(sim.audit_enabled());
+  return *sim.audit_log();
+}
+
+TEST(AuditMode, ChainIsIdenticalAcrossReruns) {
+  const des::AuditLog a = audited_workload(1.0);
+  const des::AuditLog b = audited_workload(1.0);
+  EXPECT_EQ(a.events(), 1501u);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.checkpoints(), b.checkpoints());
+  EXPECT_FALSE(des::first_divergence(a, b).has_value());
+}
+
+TEST(AuditMode, DivergenceIsLocalizedToTheFirstDifferingWindow) {
+  const des::AuditLog a = audited_workload(1.0);
+  const des::AuditLog c = audited_workload(2.0);  // event 0 differs
+  EXPECT_NE(a.hash(), c.hash());
+  const auto div = des::first_divergence(a, c);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(*div, 0u);  // start of the first checkpoint window
+}
+
+TEST(AuditMode, InvariantSweepCatchesInjectedHeapCorruption) {
+  des::Simulation sim;
+  sim.set_audit(true);
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(1.0 + i, [] {});
+  }
+  sim.audit_check_now();  // healthy kernel: no throw
+  sim.corrupt_heap_for_test();
+  EXPECT_THROW(sim.audit_check_now(), LogicError);
+  // The amortized sweep inside dispatch catches it too.
+  EXPECT_THROW(sim.run(), LogicError);
+}
+
+TEST(AuditMode, Fig12RegistryChainIdenticalAcrossSweepThreads) {
+  // The env seam is how `pimsim verify audit=1` reaches simulations
+  // constructed inside figure generators on sweep worker threads.
+  ::setenv("PIMSIM_AUDIT", "1", 1);
+  core::ParcelFigureConfig cfg;
+  cfg.base.horizon = 2'000.0;
+  cfg.base.seed = 7;
+  cfg.parallelism = {1, 4};
+  cfg.node_counts = {4};
+  auto chain_of = [&](std::size_t threads) {
+    core::ParcelFigureConfig c = cfg;
+    c.sweep_threads = threads;
+    des::AuditRegistry::global().reset();
+    std::ostringstream os;
+    core::make_fig12(c).print_csv(os);
+    return des::AuditRegistry::global().snapshot();
+  };
+  const auto serial = chain_of(1);
+  const auto parallel = chain_of(3);
+  ::unsetenv("PIMSIM_AUDIT");
+  EXPECT_GT(serial.simulations, 0u);
+  EXPECT_GT(serial.events, 0u);
+  EXPECT_TRUE(serial == parallel);
+  EXPECT_EQ(serial.combined, parallel.combined);
 }
 
 }  // namespace

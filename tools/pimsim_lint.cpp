@@ -1,0 +1,99 @@
+// pimsim-lint — determinism static analysis over the pimsim tree.
+//
+// Walks src/ tools/ tests/ bench/ (and examples/) under the given repo
+// root, applies the repo-specific determinism rules in src/lint/linter.hpp,
+// and exits non-zero if any finding survives its suppressions.  No
+// libclang: the scanner is token-aware (comments and literals stripped)
+// but deliberately line-oriented, so it builds everywhere the simulator
+// does and runs over the whole tree in milliseconds.
+//
+// Usage: pimsim-lint [repo_root=.] [--list-rules]
+//
+// CI runs it from the repo root; locally:  ./build/pimsim-lint
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The directories whose sources carry the determinism contract.
+constexpr const char* kRoots[] = {"src", "tools", "tests", "bench",
+                                  "examples"};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : pimsim::lint::rule_ids()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pimsim-lint [repo_root=.] [--list-rules]\n";
+      return 0;
+    }
+    root = arg;
+  }
+  if (!fs::exists(root / "src")) {
+    std::cerr << "pimsim-lint: '" << root.string()
+              << "' does not look like the repo root (no src/)\n";
+    return 2;
+  }
+
+  // Deterministic order: collect, sort lexicographically, then lint.
+  std::vector<fs::path> files;
+  for (const char* dir : kRoots) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t finding_count = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+      std::cerr << "pimsim-lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    const auto findings =
+        pimsim::lint::lint_source(file.generic_string(), content.str());
+    for (const auto& finding : findings) {
+      std::cout << pimsim::lint::to_string(finding) << "\n";
+    }
+    finding_count += findings.size();
+  }
+
+  if (finding_count > 0) {
+    std::cout << "pimsim-lint: " << finding_count << " finding(s) in "
+              << files.size() << " file(s); see docs/DETERMINISM.md for the "
+              << "rules and lint:allow(<rule>): <reason> to suppress\n";
+    return 1;
+  }
+  std::cout << "pimsim-lint: clean (" << files.size() << " file(s), "
+            << pimsim::lint::rule_ids().size() << " rules)\n";
+  return 0;
+}
