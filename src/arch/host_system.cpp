@@ -5,8 +5,8 @@
 
 #include "common/error.hpp"
 #include "des/process.hpp"
-#include "des/resource.hpp"
 #include "des/simulation.hpp"
+#include "memory/memory_system.hpp"
 #include "workload/workload.hpp"
 
 namespace pimsim::arch {
@@ -17,9 +17,6 @@ void HostConfig::validate() const {
   require(lwp_nodes > 0, "HostConfig: need at least one LWP node");
   require(phases > 0, "HostConfig: need at least one phase");
   require(batch_ops > 0, "HostConfig: batch_ops must be positive");
-  require(lwps_per_bank > 0, "HostConfig: lwps_per_bank must be positive");
-  require(model_bank_conflicts || lwps_per_bank == 1,
-          "HostConfig: lwps_per_bank > 1 requires model_bank_conflicts");
 }
 
 namespace {
@@ -27,8 +24,8 @@ namespace {
 /// Everything one run needs to share between master and worker coroutines.
 struct RunState {
   des::Simulation sim;
+  std::unique_ptr<mem::MemorySystem> memory;
   std::vector<std::unique_ptr<Lwp>> lwps;
-  std::vector<std::unique_ptr<des::Resource>> ports;  // ablation only
   std::optional<Hwp> hwp;
   double hwp_cycles = 0.0;
   double lwp_cycles = 0.0;
@@ -104,29 +101,25 @@ HostResult run_impl(const HostConfig& config) {
   RunState state;
   Rng root(config.seed);
 
-  state.hwp.emplace(state.sim, config.params, root.split(0), config.batch_ops);
+  // The memory seam: latency constants and the node count always come
+  // from the machine parameters, so the analytic backend charges the
+  // identical doubles the models used to inline (bitwise-equal figures)
+  // and the banked backend's zero-load latencies degenerate to them.
+  mem::MemoryConfig mc = config.memory;
+  mc.nodes = config.lwp_nodes;
+  mc.lwp_row_cycles = config.params.t_ml;
+  mc.hwp_miss_cycles = config.params.t_mh;
+  state.memory = mem::make_memory(mc);
+
+  state.hwp.emplace(state.sim, config.params, root.split(0), config.batch_ops,
+                    state.memory.get());
 
   const std::size_t threads = config.lwp_nodes;
-  if (config.model_bank_conflicts) {
-    // Single-ported banks; lwps_per_bank LWPs share each one. With
-    // lwps_per_bank == 1 this measures pure per-access serialization
-    // (each LWP has a private bank, so no conflicts, only event overhead).
-    const std::size_t banks =
-        (config.lwp_nodes + config.lwps_per_bank - 1) / config.lwps_per_bank;
-    state.ports.reserve(banks);
-    for (std::size_t b = 0; b < banks; ++b) {
-      state.ports.push_back(std::make_unique<des::Resource>(
-          state.sim, 1, "bank" + std::to_string(b) + ".port"));
-    }
-  }
   state.lwps.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    des::Resource* port = config.model_bank_conflicts
-                              ? state.ports[t / config.lwps_per_bank].get()
-                              : nullptr;
-    state.lwps.push_back(std::make_unique<Lwp>(state.sim, config.params,
-                                               root.split(100 + t),
-                                               config.batch_ops, port));
+    state.lwps.push_back(std::make_unique<Lwp>(
+        state.sim, config.params, root.split(100 + t), config.batch_ops,
+        state.memory.get(), t));
   }
 
   state.sim.spawn(master(state, config));
@@ -139,6 +132,8 @@ HostResult run_impl(const HostConfig& config) {
   out.hwp_ops = state.hwp->counts().ops;
   for (const auto& lwp : state.lwps) out.lwp_ops += lwp->counts().ops;
   out.hwp_observed_miss_rate = state.hwp->observed_miss_rate();
+  out.mem_accesses = state.memory->accesses();
+  out.mem_row_hit_rate = state.memory->row_hit_rate();
   return out;
 }
 
@@ -150,8 +145,7 @@ HostResult run_control_system(const HostConfig& config) {
   // Control run: "the HWP performed all of the work" — same W, %WL = 0.
   HostConfig control = config;
   control.workload.lwp_fraction = 0.0;
-  control.model_bank_conflicts = false;
-  control.lwps_per_bank = 1;
+  control.memory = mem::MemoryConfig{};
   control.overlap_phases = false;
   return run_impl(control);
 }

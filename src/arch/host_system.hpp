@@ -11,6 +11,7 @@
 #include "arch/hwp.hpp"
 #include "arch/lwp.hpp"
 #include "arch/params.hpp"
+#include "memory/memory_system.hpp"
 #include "workload/workload.hpp"
 
 namespace pimsim::arch {
@@ -24,12 +25,14 @@ struct HostConfig {
   std::uint64_t batch_ops = 100'000;  ///< statistical batching granularity
   std::uint64_t seed = 1;
 
-  // Bank-conflict ablation (paper: "bank conflicts are not modeled"):
-  // with model_bank_conflicts, every memory access goes through a
-  // single-ported bank, and lwps_per_bank > 1 makes that many LWPs share
-  // one bank (a chip with fewer banks than processors).
-  bool model_bank_conflicts = false;
-  std::size_t lwps_per_bank = 1;
+  // The memory seam (paper: "bank conflicts are not modeled"): kind
+  // "analytic" reproduces the paper's constant-latency charging bitwise;
+  // "banked" runs the DES banked-DRAM backend, with `banks` < lwp_nodes
+  // making consecutive node groups share a bank and `queue` limiting the
+  // shared access ports.  The latency constants and node count are
+  // overridden from `params`/`lwp_nodes` at run time, so only kind /
+  // banks / queue need to be set here.
+  mem::MemoryConfig memory;
 
   // Extension: concurrent host+PIM execution. The paper's Figure 4 flow
   // serializes the HWP and LWP parts of each phase ("at any one time,
@@ -50,6 +53,8 @@ struct HostResult {
   std::uint64_t hwp_ops = 0;
   std::uint64_t lwp_ops = 0;
   double hwp_observed_miss_rate = 0.0;
+  std::uint64_t mem_accesses = 0;     ///< banked backend: accesses issued
+  double mem_row_hit_rate = 0.0;      ///< banked backend: open-row hit rate
 
   /// Makespan in nanoseconds under the configured HWP clock.
   [[nodiscard]] double total_ns(const SystemParams& p) const {

@@ -7,8 +7,9 @@
 namespace pimsim::arch {
 
 Hwp::Hwp(des::Simulation& sim, const SystemParams& params, Rng rng,
-         std::uint64_t batch_ops)
-    : sim_(sim), params_(params), rng_(rng), batch_ops_(batch_ops) {
+         std::uint64_t batch_ops, const mem::MemorySystem* memory)
+    : sim_(sim), params_(params), rng_(rng), batch_ops_(batch_ops),
+      memory_(memory) {
   params_.validate();
   require(batch_ops > 0, "Hwp: batch_ops must be positive");
 }
@@ -25,7 +26,7 @@ des::Process Hwp::run(std::uint64_t ops) {
     // on a miss, additionally the main-memory access.
     const double cycles = static_cast<double>(batch - mem) +
                           static_cast<double>(mem) * params_.t_ch +
-                          static_cast<double>(misses) * params_.t_mh;
+                          static_cast<double>(misses) * miss_penalty();
     co_await des::delay(sim_, cycles);
 
     counts_.ops += batch;
@@ -47,7 +48,7 @@ des::Process Hwp::run_trace(std::uint64_t ops, wl::AccessPattern& pattern,
     double cycles = static_cast<double>(gap);
     const bool miss =
         cache.access(pattern.next()) == mem::CacheOutcome::kMiss;
-    cycles += params_.t_ch + (miss ? params_.t_mh : 0.0);
+    cycles += params_.t_ch + (miss ? miss_penalty() : 0.0);
     co_await des::delay(sim_, cycles);
     counts_.ops += gap + 1;
     counts_.mem_ops += 1;

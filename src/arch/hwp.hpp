@@ -16,6 +16,7 @@
 #include "des/process.hpp"
 #include "des/simulation.hpp"
 #include "memory/cache.hpp"
+#include "memory/memory_system.hpp"
 #include "workload/access_pattern.hpp"
 
 namespace pimsim::arch {
@@ -30,8 +31,14 @@ struct OpCounts {
 
 class Hwp {
  public:
+  /// `memory == nullptr` charges the Table 1 constants directly; with a
+  /// MemorySystem the miss penalty is read through the seam
+  /// (zero_load_latency(kHwpMiss)).  The HWP is the memory's only host-
+  /// side accessor, so by the zero-load degeneracy guarantee its charging
+  /// stays batched — a contended backend cannot queue against it.
   Hwp(des::Simulation& sim, const SystemParams& params, Rng rng,
-      std::uint64_t batch_ops = 100'000);
+      std::uint64_t batch_ops = 100'000,
+      const mem::MemorySystem* memory = nullptr);
 
   /// Coroutine that executes `ops` operations, advancing simulated time.
   /// Cache misses are statistical (Bernoulli Pmiss, batched exactly).
@@ -52,10 +59,18 @@ class Hwp {
   [[nodiscard]] double observed_miss_rate() const;
 
  private:
+  /// Main-memory miss penalty, read through the seam when one is wired.
+  [[nodiscard]] double miss_penalty() const {
+    return memory_ == nullptr
+               ? params_.t_mh
+               : memory_->zero_load_latency(mem::AccessKind::kHwpMiss);
+  }
+
   des::Simulation& sim_;
   SystemParams params_;
   Rng rng_;
   std::uint64_t batch_ops_;
+  const mem::MemorySystem* memory_;
   OpCounts counts_;
 };
 

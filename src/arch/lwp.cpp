@@ -6,16 +6,28 @@
 
 namespace pimsim::arch {
 
+namespace {
+/// Address stride of the contended path's access stream: one wide word
+/// (word_bits / 8 bytes at the default geometry), so consecutive accesses
+/// walk the row buffer and the open-row hit rate reflects spatial
+/// locality instead of being degenerate.
+constexpr std::uint64_t kAccessStrideBytes = 32;
+/// Each node streams through its own address region.
+constexpr std::uint64_t kNodeRegionBytes = std::uint64_t{1} << 32;
+}  // namespace
+
 Lwp::Lwp(des::Simulation& sim, const SystemParams& params, Rng rng,
-         std::uint64_t batch_ops, des::Resource* memory_port)
+         std::uint64_t batch_ops, const mem::MemorySystem* memory,
+         std::size_t node)
     : sim_(sim), params_(params), rng_(rng), batch_ops_(batch_ops),
-      memory_port_(memory_port) {
+      memory_(memory), node_(node) {
   params_.validate();
   require(batch_ops > 0, "Lwp: batch_ops must be positive");
 }
 
 des::Process Lwp::run(std::uint64_t ops) {
-  return memory_port_ == nullptr ? run_batched(ops) : run_with_port(ops);
+  return memory_ != nullptr && memory_->contended() ? run_contended(ops)
+                                                    : run_batched(ops);
 }
 
 des::Process Lwp::run_batched(std::uint64_t ops) {
@@ -26,7 +38,7 @@ des::Process Lwp::run_batched(std::uint64_t ops) {
 
     const std::uint64_t mem = rng_.binomial(batch, params_.ls_mix);
     const double cycles = static_cast<double>(batch - mem) * params_.tl_cycle +
-                          static_cast<double>(mem) * params_.t_ml;
+                          static_cast<double>(mem) * row_latency();
     co_await des::delay(sim_, cycles);
 
     counts_.ops += batch;
@@ -35,9 +47,11 @@ des::Process Lwp::run_batched(std::uint64_t ops) {
   }
 }
 
-des::Process Lwp::run_with_port(std::uint64_t ops) {
+des::Process Lwp::run_contended(std::uint64_t ops) {
   // Per-access path: compute runs are still aggregated (they cannot
-  // conflict), but each memory access holds the shared port for TML.
+  // conflict), but each memory access is issued through the seam, where
+  // it queues at its home bank behind other accessors.
+  std::uint64_t addr = static_cast<std::uint64_t>(node_) * kNodeRegionBytes;
   std::uint64_t remaining = ops;
   while (remaining > 0) {
     // Length of the compute run until the next memory access.
@@ -52,12 +66,12 @@ des::Process Lwp::run_with_port(std::uint64_t ops) {
     if (remaining == 0) break;
 
     const SimTime start = sim_.now();
-    co_await memory_port_->acquire();
-    co_await des::delay(sim_, params_.t_ml);
-    memory_port_->release();
+    co_await mem::AccessAwaitable{*memory_, sim_, node_, addr,
+                                  mem::AccessKind::kLwpRow};
+    addr += kAccessStrideBytes;
     counts_.ops += 1;
     counts_.mem_ops += 1;
-    counts_.busy_cycles += sim_.now() - start;  // includes port queueing
+    counts_.busy_cycles += sim_.now() - start;  // includes bank queueing
     remaining -= 1;
   }
 }

@@ -2,11 +2,12 @@
 //
 // An LWP has no cache; it sits next to a memory row buffer, so every
 // load/store costs TML (already normalized to HWP cycles) and every other
-// operation costs one LWP cycle (TLcycle HWP cycles).  The default is the
-// paper's contention-free model ("bank conflicts are not modeled");
-// setting `memory_port` routes every memory access through a shared
-// des::Resource so the bank-conflict ablation can quantify what that
-// assumption hides.
+// operation costs one LWP cycle (TLcycle HWP cycles).  Memory timing goes
+// through the mem::MemorySystem seam: with no memory (or the analytic
+// backend) the paper's contention-free model is reproduced bitwise via
+// batched charging; a contended backend (memory=banked) switches to
+// per-access issue so bank queueing and shared-port arbitration are
+// visible — the bank-conflict ablation's measurement path.
 #pragma once
 
 #include <cstdint>
@@ -15,18 +16,20 @@
 #include "arch/params.hpp"
 #include "common/rng.hpp"
 #include "des/process.hpp"
-#include "des/resource.hpp"
 #include "des/simulation.hpp"
+#include "memory/memory_system.hpp"
 
 namespace pimsim::arch {
 
 class Lwp {
  public:
-  /// `memory_port == nullptr` reproduces the paper's contention-free model.
-  /// With a port, *memory* time is serialized through it access-by-access
-  /// (use small op counts: this path is per-access, not batched).
+  /// `memory == nullptr` (or an uncontended backend) reproduces the
+  /// paper's contention-free model with batched charging.  A contended
+  /// backend issues every access individually from `node` (use small op
+  /// counts: that path is per-access, not batched).
   Lwp(des::Simulation& sim, const SystemParams& params, Rng rng,
-      std::uint64_t batch_ops = 100'000, des::Resource* memory_port = nullptr);
+      std::uint64_t batch_ops = 100'000,
+      const mem::MemorySystem* memory = nullptr, std::size_t node = 0);
 
   /// Coroutine that executes `ops` LWP operations.
   [[nodiscard]] des::Process run(std::uint64_t ops);
@@ -35,14 +38,22 @@ class Lwp {
   [[nodiscard]] des::Simulation& sim_ref() { return sim_; }
 
  private:
+  /// Row-buffer access latency, read through the seam when one is wired.
+  [[nodiscard]] double row_latency() const {
+    return memory_ == nullptr
+               ? params_.t_ml
+               : memory_->zero_load_latency(mem::AccessKind::kLwpRow);
+  }
+
   des::Process run_batched(std::uint64_t ops);
-  des::Process run_with_port(std::uint64_t ops);
+  des::Process run_contended(std::uint64_t ops);
 
   des::Simulation& sim_;
   SystemParams params_;
   Rng rng_;
   std::uint64_t batch_ops_;
-  des::Resource* memory_port_;
+  const mem::MemorySystem* memory_;
+  std::size_t node_;
   OpCounts counts_;
 };
 

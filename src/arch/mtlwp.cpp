@@ -9,9 +9,12 @@ namespace pimsim::arch {
 
 MultithreadedLwp::MultithreadedLwp(des::Simulation& sim,
                                    const SystemParams& params, Rng rng,
-                                   std::size_t threads, double switch_cost)
+                                   std::size_t threads, double switch_cost,
+                                   const mem::MemorySystem* memory,
+                                   std::size_t node)
     : sim_(sim), params_(params), rng_(rng), threads_(threads),
-      switch_cost_(switch_cost), pipeline_(sim, 1, "mtlwp.pipeline") {
+      switch_cost_(switch_cost), memory_(memory), node_(node),
+      pipeline_(sim, 1, "mtlwp.pipeline") {
   params_.validate();
   require(threads >= 1, "MultithreadedLwp: need at least one thread");
   require(switch_cost >= 0.0,
@@ -51,7 +54,21 @@ des::Process MultithreadedLwp::thread_body(std::uint64_t ops, Rng rng,
     // The access itself: issue, then stall *off* the pipeline so other
     // threads can run (the row-buffer access is overlappable).
     pipeline_.release();
-    co_await des::delay(sim_, params_.t_ml);
+    if (memory_ != nullptr && memory_->contended()) {
+      // Node-interleaved stride: the threads share the node's row buffer.
+      const std::uint64_t addr =
+          static_cast<std::uint64_t>(node_) * (std::uint64_t{1} << 32) +
+          next_offset_;
+      next_offset_ += 32;  // one wide word (word_bits / 8)
+      co_await mem::AccessAwaitable{*memory_, sim_, node_, addr,
+                                    mem::AccessKind::kLwpRow};
+    } else {
+      co_await des::delay(sim_,
+                          memory_ == nullptr
+                              ? params_.t_ml
+                              : memory_->zero_load_latency(
+                                    mem::AccessKind::kLwpRow));
+    }
     counts_.ops += 1;
     counts_.mem_ops += 1;
     remaining -= 1;

@@ -17,6 +17,7 @@
 #include "des/process.hpp"
 #include "des/resource.hpp"
 #include "des/simulation.hpp"
+#include "memory/memory_system.hpp"
 
 namespace pimsim::arch {
 
@@ -24,8 +25,13 @@ class MultithreadedLwp {
  public:
   /// A node with `threads` contexts; switching costs `switch_cost` HWP
   /// cycles whenever a different context takes the pipeline (K >= 2).
+  /// The off-pipeline row-buffer stall goes through the MemorySystem
+  /// seam when `memory` is wired (issued from `node`); nullptr charges
+  /// the Table 1 TML constant directly, as the paper assumes.
   MultithreadedLwp(des::Simulation& sim, const SystemParams& params, Rng rng,
-                   std::size_t threads, double switch_cost);
+                   std::size_t threads, double switch_cost,
+                   const mem::MemorySystem* memory = nullptr,
+                   std::size_t node = 0);
 
   /// Coroutine that executes `ops` operations split evenly across the
   /// node's thread contexts; completes when the slowest thread finishes.
@@ -45,6 +51,9 @@ class MultithreadedLwp {
   Rng rng_;
   std::size_t threads_;
   double switch_cost_;
+  const mem::MemorySystem* memory_;
+  std::size_t node_;
+  std::uint64_t next_offset_ = 0;  ///< contended path: next address offset
   des::Resource pipeline_;
   OpCounts counts_;
 };

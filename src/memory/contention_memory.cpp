@@ -1,0 +1,244 @@
+#include "memory/contention_memory.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pimsim::mem {
+
+namespace {
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+/// The bound per-run state: request slab + per-bank queues + port ring.
+struct ContentionMemory::Engine {
+  /// One in-flight request.  Lives in the slab; `next` links it into its
+  /// bank's FIFO while queued, or into the free list while idle.
+  struct Request {
+    des::EventAction::StaticFn done = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t seq = 0;  ///< calendar key, allocated at issue time
+    std::uint64_t row = 0;
+    std::uint32_t bank = 0;
+    AccessKind kind = AccessKind::kLwpRow;
+    std::uint32_t next = kNone;
+  };
+
+  struct Bank {
+    std::uint32_t qhead = kNone;  ///< FIFO of queued (not in-service) reqs
+    std::uint32_t qtail = kNone;
+    std::uint32_t qlen = 0;
+    bool busy = false;     ///< a request is in service at this bank
+    bool parked = false;   ///< waiting in the port ring for a free port
+    DramBank rows;         ///< open-row state, statistics only
+    // Queue-occupancy conservation (audit mode): everything that entered
+    // must be queued, in service, or completed.
+    std::uint64_t enqueued = 0;
+    std::uint64_t completed = 0;
+  };
+
+  des::Simulation& sim;
+  const ContentionMemory& owner;
+  std::vector<Bank> banks;
+  std::vector<Request> slab;
+  std::uint32_t free_head = kNone;
+  // Arrival-ordered ring of banks waiting for a port (each bank parks at
+  // most once, so capacity == banks suffices).
+  std::vector<std::uint32_t> ring;
+  std::size_t ring_head = 0;
+  std::size_t ring_count = 0;
+  std::size_t ports = 0;
+  std::size_t in_service = 0;
+  std::uint64_t total_accesses = 0;
+
+  Engine(des::Simulation& s, const ContentionMemory& m)
+      : sim(s), owner(m), ports(m.cfg_.resolved_ports()) {
+    banks.resize(m.cfg_.resolved_banks());
+    for (auto& b : banks) b.rows = DramBank(m.cfg_.spec);
+    ring.resize(banks.size());
+    slab.reserve(64);
+  }
+
+  std::uint32_t alloc() {
+    if (free_head != kNone) {
+      const std::uint32_t idx = free_head;
+      free_head = slab[idx].next;
+      return idx;
+    }
+    slab.emplace_back();
+    return static_cast<std::uint32_t>(slab.size() - 1);
+  }
+
+  void release(std::uint32_t idx) {
+    slab[idx].done = nullptr;
+    slab[idx].next = free_head;
+    free_head = idx;
+  }
+
+  void park(std::uint32_t bank_idx) {
+    Bank& b = banks[bank_idx];
+    ensure(!b.parked, "ContentionMemory: bank parked twice");
+    b.parked = true;
+    ring[(ring_head + ring_count) % ring.size()] = bank_idx;
+    ++ring_count;
+  }
+
+  /// Puts the head of `bank`'s queue into service and schedules its
+  /// completion under the request's pre-allocated calendar key, so
+  /// same-time completions across banks dispatch in arrival order.
+  void start_service(std::uint32_t bank_idx) {
+    Bank& b = banks[bank_idx];
+    const std::uint32_t idx = b.qhead;
+    Request& r = slab[idx];
+    b.qhead = r.next;
+    if (b.qhead == kNone) b.qtail = kNone;
+    --b.qlen;
+    b.busy = true;
+    ++in_service;
+    (void)b.rows.access_ns(r.row);  // open-row hit/miss statistics only
+    sim.schedule_static_at_seq(
+        sim.now() + owner.zero_load_latency(r.kind), r.seq, &on_complete,
+        this, idx, 0);
+  }
+
+  /// Grants freed ports to parked banks in arrival order.
+  void drain_ring() {
+    while (ring_count > 0 && in_service < ports) {
+      const std::uint32_t bank_idx = ring[ring_head];
+      ring_head = (ring_head + 1) % ring.size();
+      --ring_count;
+      banks[bank_idx].parked = false;
+      if (banks[bank_idx].qlen > 0) start_service(bank_idx);
+    }
+  }
+
+  void issue(std::uint32_t idx) {
+    Request& r = slab[idx];
+    Bank& b = banks[r.bank];
+    r.next = kNone;
+    if (b.qtail == kNone) {
+      b.qhead = idx;
+    } else {
+      slab[b.qtail].next = idx;
+    }
+    b.qtail = idx;
+    ++b.qlen;
+    ++b.enqueued;
+    ++total_accesses;
+    if (!b.busy && !b.parked) {
+      if (in_service < ports) {
+        start_service(r.bank);
+      } else {
+        park(r.bank);
+      }
+    }
+    if (sim.audit_enabled()) audit_check(r.bank);
+  }
+
+  static void on_complete(void* ctx, std::uint64_t idx64, std::uint64_t) {
+    auto& e = *static_cast<Engine*>(ctx);
+    const auto idx = static_cast<std::uint32_t>(idx64);
+    // Copy out before freeing: done() may re-enter issue() and grow the
+    // slab out from under the reference.
+    const Request r = e.slab[idx];
+    Bank& b = e.banks[r.bank];
+    b.busy = false;
+    ++b.completed;
+    --e.in_service;
+    if (b.qlen > 0 && !b.parked) e.park(r.bank);
+    e.drain_ring();
+    if (e.sim.audit_enabled()) e.audit_check(r.bank);
+    e.release(idx);
+    r.done(r.ctx, r.a, r.b);
+  }
+
+  /// O(1) queue-occupancy conservation sweep over the touched bank, plus
+  /// the global port ledger — the memory-side analogue of the packet
+  /// network's audit-mode credit-conservation check.
+  void audit_check(std::uint32_t bank_idx) const {
+    const Bank& b = banks[bank_idx];
+    ensure(b.enqueued ==
+               b.completed + b.qlen + (b.busy ? std::uint64_t{1} : 0),
+           "ContentionMemory audit: bank queue-occupancy conservation "
+           "violated");
+    ensure(in_service <= ports,
+           "ContentionMemory audit: more accesses in service than ports");
+    ensure(ring_count == 0 || in_service == ports,
+           "ContentionMemory audit: bank parked while a port is free");
+  }
+};
+
+ContentionMemory::ContentionMemory(MemoryConfig config)
+    : cfg_(std::move(config)) {
+  cfg_.validate();
+}
+
+ContentionMemory::~ContentionMemory() = default;
+
+Cycles ContentionMemory::zero_load_latency(AccessKind kind) const {
+  return kind == AccessKind::kLwpRow ? cfg_.lwp_row_cycles
+                                     : cfg_.hwp_miss_cycles;
+}
+
+std::size_t ContentionMemory::bank_of(std::size_t node) const {
+  const std::size_t n = node % cfg_.nodes;
+  // Consecutive-node grouping: with B banks over N nodes this is
+  // floor(n * B / N) — the t / lwps_per_bank layout the bank-conflict
+  // ablation historically used.
+  return n * cfg_.resolved_banks() / cfg_.nodes;
+}
+
+std::uint64_t ContentionMemory::row_of(std::uint64_t addr) const {
+  const std::uint64_t word_bytes = cfg_.spec.word_bits / 8;
+  return (addr / word_bytes) / cfg_.spec.words_per_row();
+}
+
+void ContentionMemory::bind(des::Simulation& sim) const {
+  if (eng_ != nullptr) {
+    ensure(sim_ == &sim,
+           "ContentionMemory: already bound to a different Simulation; "
+           "build one memory model per run");
+    return;
+  }
+  sim_ = &sim;
+  eng_ = std::make_unique<Engine>(sim, *this);
+}
+
+void ContentionMemory::access(des::Simulation& sim, std::size_t node,
+                              std::uint64_t addr, AccessKind kind,
+                              bool /*is_write*/,
+                              des::EventAction::StaticFn done, void* ctx,
+                              std::uint64_t a, std::uint64_t b) const {
+  bind(sim);
+  Engine& e = *eng_;
+  const std::uint32_t idx = e.alloc();
+  Engine::Request& r = e.slab[idx];
+  r.done = done;
+  r.ctx = ctx;
+  r.a = a;
+  r.b = b;
+  r.seq = sim.allocate_seq();
+  r.row = row_of(addr);
+  r.bank = static_cast<std::uint32_t>(bank_of(node));
+  r.kind = kind;
+  e.issue(idx);
+}
+
+std::uint64_t ContentionMemory::accesses() const {
+  return eng_ == nullptr ? 0 : eng_->total_accesses;
+}
+
+double ContentionMemory::row_hit_rate() const {
+  if (eng_ == nullptr) return 0.0;
+  std::uint64_t hits = 0, total = 0;
+  for (const auto& b : eng_->banks) {
+    hits += b.rows.hits();
+    total += b.rows.hits() + b.rows.misses();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace pimsim::mem

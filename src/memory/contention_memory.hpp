@@ -1,0 +1,81 @@
+// Contention-aware drop-in for the analytic MemorySystem: banked open-row
+// DRAM on the event kernel, behind the same seam.
+//
+// Structure: `banks` DRAM banks (DramBank carries the open-row state),
+// each with its own FIFO request queue, behind `ports` shared access
+// ports.  A request from node n goes to that node's home bank
+// (consecutive node groups share a bank when banks < nodes — the layout
+// the bank-conflict ablation sweeps); it waits behind earlier requests to
+// the same bank, and behind other banks when fewer ports than banks are
+// configured (banks park in an arrival-ordered waiter ring).  Service
+// time is exactly zero_load_latency(kind) — the Table 1 constant — so an
+// uncontended access is bit-identical to the analytic model and
+// contention shows up purely as queueing delay, mirroring how
+// make_contention_interconnect calibrates the packet network.  The
+// DramBank row-buffer state is driven by the address stream for hit-rate
+// statistics (row_hit_rate()); it does not perturb timing, keeping the
+// zero-load degeneracy exact.
+//
+// Implementation is the PR 4 hot-path recipe: requests live in a slab
+// with an intrusive free list (steady state allocates nothing), every
+// event is a static-call EventAction, and each request pre-allocates its
+// calendar sequence number at issue time, so same-time completions
+// dispatch in arrival order and the whole structure is deterministic by
+// construction.  In audit mode (sim.audit_enabled()) every touched bank
+// is checked against a queue-occupancy conservation invariant — enqueued
+// == completed + queued + in-service — alongside the kernel's own sweeps,
+// the memory-side analogue of the packet network's credit-ledger check.
+//
+// Like ContentionInterconnect, the model is constructed unbound and
+// attaches to the first Simulation that accesses through it; reusing it
+// in a second Simulation throws LogicError — build one per run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memory/memory_system.hpp"
+
+namespace pimsim::mem {
+
+class ContentionMemory final : public MemorySystem {
+ public:
+  explicit ContentionMemory(MemoryConfig config);
+  ~ContentionMemory() override;
+
+  [[nodiscard]] const char* name() const override { return "banked"; }
+  [[nodiscard]] bool contended() const override { return true; }
+  [[nodiscard]] Cycles zero_load_latency(AccessKind kind) const override;
+
+  void access(des::Simulation& sim, std::size_t node, std::uint64_t addr,
+              AccessKind kind, bool is_write, des::EventAction::StaticFn done,
+              void* ctx, std::uint64_t a, std::uint64_t b) const override;
+
+  /// Binds to `sim` eagerly (access() binds lazily on first use).
+  void bind(des::Simulation& sim) const;
+
+  [[nodiscard]] std::uint64_t accesses() const override;
+  /// Row-buffer hit rate over all banks (stats-only open-row model).
+  [[nodiscard]] double row_hit_rate() const override;
+
+  [[nodiscard]] std::size_t banks() const { return cfg_.resolved_banks(); }
+  [[nodiscard]] std::size_t ports() const { return cfg_.resolved_ports(); }
+  [[nodiscard]] const MemoryConfig& config() const { return cfg_; }
+
+  /// Home bank of an accessor node (consecutive-node grouping).
+  [[nodiscard]] std::size_t bank_of(std::size_t node) const;
+  /// Row an address maps to within its bank.
+  [[nodiscard]] std::uint64_t row_of(std::uint64_t addr) const;
+
+ private:
+  struct Engine;
+
+  MemoryConfig cfg_;
+  // Bound lazily on first access(): the model outlives no Simulation, it
+  // just has to be constructible before one exists.
+  mutable std::unique_ptr<Engine> eng_;
+  mutable des::Simulation* sim_ = nullptr;
+};
+
+}  // namespace pimsim::mem

@@ -12,8 +12,9 @@ std::uint64_t RequestHandle::value() const {
 }
 
 ParcelMachine::ParcelMachine(des::Simulation& sim, std::size_t nodes,
-                             const Interconnect& net, RuntimeCosts costs)
-    : sim_(sim), net_(net), costs_(costs) {
+                             const Interconnect& net, RuntimeCosts costs,
+                             const mem::MemorySystem* memory)
+    : sim_(sim), net_(net), costs_(costs), memory_(memory) {
   require(nodes > 0, "ParcelMachine: need at least one node");
   require(costs.dispatch >= 0.0 && costs.memory_access >= 0.0 &&
               costs.reply_issue >= 0.0,
@@ -75,7 +76,7 @@ void ParcelMachine::ship(Parcel parcel) {
                [inbox, bytes = std::move(bytes)] { inbox->send(bytes); });
 }
 
-des::Process ParcelMachine::engine(Node& node, NodeId /*id*/) {
+des::Process ParcelMachine::engine(Node& node, NodeId id) {
   while (true) {
     const auto bytes = co_await node.inbox->receive();
     node.stats.bytes_received += bytes.size();
@@ -92,7 +93,18 @@ des::Process ParcelMachine::engine(Node& node, NodeId /*id*/) {
       continue;
     }
 
-    co_await des::delay(sim_, costs_.dispatch + costs_.memory_access);
+    if (memory_ != nullptr) {
+      // Decode/dispatch is engine time; the row access itself goes
+      // through the memory seam, addressed by the parcel's target
+      // operand so co-located data shares banks and rows honestly.
+      co_await des::delay(sim_, costs_.dispatch);
+      const std::uint64_t addr =
+          parcel.operands.empty() ? 0 : parcel.operands[0];
+      co_await mem::AccessAwaitable{*memory_, sim_, id, addr,
+                                    mem::AccessKind::kLwpRow};
+    } else {
+      co_await des::delay(sim_, costs_.dispatch + costs_.memory_access);
+    }
     ++node.stats.parcels_executed;
     auto reply = execute_action(parcel, node.store, registry_);
     // Context 0 marks a posted (fire-and-forget) parcel: drop the result.

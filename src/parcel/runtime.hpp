@@ -29,6 +29,7 @@
 #include "des/mailbox.hpp"
 #include "des/process.hpp"
 #include "des/simulation.hpp"
+#include "memory/memory_system.hpp"
 #include "parcel/action.hpp"
 #include "parcel/network.hpp"
 #include "parcel/parcel.hpp"
@@ -81,9 +82,14 @@ class RequestHandle {
 class ParcelMachine {
  public:
   /// Builds `nodes` nodes over `net` (not owned; must outlive the machine)
-  /// and spawns their parcel engines into `sim`.
+  /// and spawns their parcel engines into `sim`.  When `memory` is wired
+  /// (not owned; must outlive the machine), each engine's per-action
+  /// memory access goes through the MemorySystem seam — addressed by the
+  /// parcel's first operand, issued from the home node — instead of
+  /// charging the flat costs.memory_access constant.
   ParcelMachine(des::Simulation& sim, std::size_t nodes,
-                const Interconnect& net, RuntimeCosts costs = {});
+                const Interconnect& net, RuntimeCosts costs = {},
+                const mem::MemorySystem* memory = nullptr);
 
   ParcelMachine(const ParcelMachine&) = delete;
   ParcelMachine& operator=(const ParcelMachine&) = delete;
@@ -140,6 +146,7 @@ class ParcelMachine {
   des::Simulation& sim_;
   const Interconnect& net_;
   RuntimeCosts costs_;
+  const mem::MemorySystem* memory_;  ///< nullptr: flat memory_access cost
   ActionRegistry registry_;
   std::vector<std::unique_ptr<Node>> nodes_;
   // Outstanding requests keyed by continuation context id.

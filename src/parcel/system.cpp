@@ -9,6 +9,7 @@
 #include "des/resource.hpp"
 #include "des/simulation.hpp"
 #include "interconnect/contention.hpp"
+#include "memory/memory_system.hpp"
 
 namespace pimsim::parcel {
 
@@ -50,6 +51,18 @@ double SystemRunResult::mean_overhead_fraction() const {
 
 namespace {
 
+// Banked-memory address stream: each node walks its own region one wide
+// word at a time (same stride the arch-layer LWP model uses), so open-row
+// locality and bank mapping are deterministic functions of the node id.
+constexpr std::uint64_t kAccessStrideBytes = 32;
+constexpr std::uint64_t kNodeRegionBytes = std::uint64_t{1} << 32;
+
+std::uint64_t next_addr(NodeId id, std::uint64_t& offset) {
+  const std::uint64_t addr = id * kNodeRegionBytes + offset;
+  offset += kAccessStrideBytes;
+  return addr;
+}
+
 /// In-memory message of the statistical models: who asked, and the trigger
 /// that reactivates the waiting thread/context once the reply arrives.
 struct SimMessage {
@@ -84,6 +97,7 @@ struct ControlNode {
   des::Resource nic;     ///< injection port (bandwidth ablation)
   Rng rng;
   NodeStats stats;
+  std::uint64_t next_offset = 0;  ///< banked memory: address stream cursor
 };
 
 /// Ships a message: serializes through the sender's NIC when nic_gap > 0,
@@ -114,8 +128,9 @@ void ship(des::Simulation& sim, des::Resource& nic, Cycles gap,
 class MessagePassingSystem {
  public:
   MessagePassingSystem(const SplitTransactionParams& params,
-                       const Interconnect& net)
-      : p_(params), net_(net) {
+                       const Interconnect& net,
+                       const mem::MemorySystem* memory)
+      : p_(params), net_(net), mem_(memory) {
     Rng root(p_.seed, /*stream_id=*/0xC0);
     nodes_.reserve(p_.nodes);
     for (std::size_t i = 0; i < p_.nodes; ++i) {
@@ -168,10 +183,18 @@ class MessagePassingSystem {
       } else {
         // Local access: the processor is in the memory-access state for
         // the whole span, including any wait for the (DMA-shared) port.
+        // Behind the seam, the banked backend's per-bank FIFO takes over
+        // the arbitration the node's memory Resource models otherwise.
         const SimTime start = sim_.now();
-        co_await n.memory.acquire();
-        co_await des::delay(sim_, p_.t_local);
-        n.memory.release();
+        if (mem_ != nullptr) {
+          co_await mem::AccessAwaitable{*mem_, sim_, n.id,
+                                        next_addr(n.id, n.next_offset),
+                                        mem::AccessKind::kLwpRow};
+        } else {
+          co_await n.memory.acquire();
+          co_await des::delay(sim_, p_.t_local);
+          n.memory.release();
+        }
         n.stats.mem_cycles += sim_.now() - start;
         ++n.stats.local_accesses;
       }
@@ -188,9 +211,15 @@ class MessagePassingSystem {
   }
 
   des::Process serve_one(ControlNode& n, SimMessage msg) {
-    co_await n.memory.acquire();
-    co_await des::delay(sim_, p_.t_local);
-    n.memory.release();
+    if (mem_ != nullptr) {
+      co_await mem::AccessAwaitable{*mem_, sim_, n.id,
+                                    next_addr(n.id, n.next_offset),
+                                    mem::AccessKind::kLwpRow};
+    } else {
+      co_await n.memory.acquire();
+      co_await des::delay(sim_, p_.t_local);
+      n.memory.release();
+    }
     ++n.stats.accesses_served;
     // Return the reply over the network; it unblocks the requester.
     des::Trigger* reply = msg.reply;
@@ -206,6 +235,7 @@ class MessagePassingSystem {
 
   SplitTransactionParams p_;
   const Interconnect& net_;
+  const mem::MemorySystem* mem_;  ///< nullptr: analytic constant path
   des::Simulation sim_;
   std::vector<std::unique_ptr<ControlNode>> nodes_;
 };
@@ -228,13 +258,15 @@ struct TestNode {
   des::Mailbox<SimMessage> incoming;
   Rng rng;
   NodeStats stats;
+  std::uint64_t next_offset = 0;  ///< banked memory: address stream cursor
 };
 
 class SplitTransactionSystem {
  public:
   SplitTransactionSystem(const SplitTransactionParams& params,
-                         const Interconnect& net)
-      : p_(params), net_(net) {
+                         const Interconnect& net,
+                         const mem::MemorySystem* memory)
+      : p_(params), net_(net), mem_(memory) {
     Rng root(p_.seed, /*stream_id=*/0x7E);
     nodes_.reserve(p_.nodes);
     for (std::size_t i = 0; i < p_.nodes; ++i) {
@@ -298,6 +330,16 @@ class SplitTransactionSystem {
           n.cpu.release();  // split transaction: don't hold the processor
           co_await reply.wait();
           running = false;  // loop around to re-acquire (pays the switch)
+        } else if (mem_ != nullptr) {
+          // Banked memory: the context holds the processor while the
+          // access (including any bank queueing) is in flight, the same
+          // busy-span accounting the control system uses.
+          const SimTime start = sim_.now();
+          co_await mem::AccessAwaitable{*mem_, sim_, n.id,
+                                        next_addr(n.id, n.next_offset),
+                                        mem::AccessKind::kLwpRow};
+          n.stats.mem_cycles += sim_.now() - start;
+          ++n.stats.local_accesses;
         } else {
           co_await des::delay(sim_, p_.t_local);
           n.stats.mem_cycles += p_.t_local;
@@ -322,8 +364,16 @@ class SplitTransactionSystem {
       n.stats.overhead_cycles += p_.t_switch;
     }
     // The action: a memory access performed on behalf of the parcel.
-    co_await des::delay(sim_, p_.t_local);
-    n.stats.mem_cycles += p_.t_local;
+    if (mem_ != nullptr) {
+      const SimTime start = sim_.now();
+      co_await mem::AccessAwaitable{*mem_, sim_, n.id,
+                                    next_addr(n.id, n.next_offset),
+                                    mem::AccessKind::kLwpRow};
+      n.stats.mem_cycles += sim_.now() - start;
+    } else {
+      co_await des::delay(sim_, p_.t_local);
+      n.stats.mem_cycles += p_.t_local;
+    }
     n.cpu.release();
     ++n.stats.accesses_served;
     des::Trigger* reply = msg.reply;
@@ -339,6 +389,7 @@ class SplitTransactionSystem {
 
   SplitTransactionParams p_;
   const Interconnect& net_;
+  const mem::MemorySystem* mem_;  ///< nullptr: analytic constant path
   des::Simulation sim_;
   std::vector<std::unique_ptr<TestNode>> nodes_;
 };
@@ -353,29 +404,58 @@ std::unique_ptr<Interconnect> default_net(const SplitTransactionParams& p) {
   return make_interconnect(p.network, p.nodes, p.round_trip_latency);
 }
 
+/// Builds the run's memory model from params.memory.  "analytic" returns
+/// nullptr — the systems then run the pre-seam constant-delay code path,
+/// keeping the default figures bitwise identical.  Anything else goes
+/// through make_memory (which rejects unknown kinds), calibrated so the
+/// zero-load access latency is exactly t_local.
+std::unique_ptr<mem::MemorySystem> default_memory(
+    const SplitTransactionParams& p) {
+  if (p.memory == "analytic") return nullptr;
+  mem::MemoryConfig mc;
+  mc.kind = p.memory;
+  mc.nodes = p.nodes;
+  mc.banks = p.mem_banks;
+  mc.queue = p.mem_queue;
+  mc.lwp_row_cycles = p.t_local;
+  return mem::make_memory(mc);
+}
+
 }  // namespace
 
 SystemRunResult run_split_transaction_system(const SplitTransactionParams& params,
-                                             const Interconnect* net) {
+                                             const Interconnect* net,
+                                             const mem::MemorySystem* memory) {
   params.validate();
   std::unique_ptr<Interconnect> owned;
   if (net == nullptr) {
     owned = default_net(params);
     net = owned.get();
   }
-  SplitTransactionSystem system(params, *net);
+  std::unique_ptr<mem::MemorySystem> owned_mem;
+  if (memory == nullptr) {
+    owned_mem = default_memory(params);
+    memory = owned_mem.get();  // stays nullptr for "analytic"
+  }
+  SplitTransactionSystem system(params, *net, memory);
   return system.run();
 }
 
 SystemRunResult run_message_passing_system(const SplitTransactionParams& params,
-                                           const Interconnect* net) {
+                                           const Interconnect* net,
+                                           const mem::MemorySystem* memory) {
   params.validate();
   std::unique_ptr<Interconnect> owned;
   if (net == nullptr) {
     owned = default_net(params);
     net = owned.get();
   }
-  MessagePassingSystem system(params, *net);
+  std::unique_ptr<mem::MemorySystem> owned_mem;
+  if (memory == nullptr) {
+    owned_mem = default_memory(params);
+    memory = owned_mem.get();  // stays nullptr for "analytic"
+  }
+  MessagePassingSystem system(params, *net, memory);
   return system.run();
 }
 

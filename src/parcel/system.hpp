@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "memory/memory_system.hpp"
 #include "parcel/network.hpp"
 
 namespace pimsim::parcel {
@@ -58,6 +59,15 @@ struct SplitTransactionParams {
   /// byte-size-independent, matching the paper.
   std::size_t message_bytes = 16;
 
+  /// The memory seam, mirroring `contention`/`network` above: "analytic"
+  /// charges t_local as a constant delay (the paper's assumption, and the
+  /// bitwise-identical default); "banked" routes every local access —
+  /// a node's own and those it serves for others — through the banked
+  /// DRAM backend calibrated so its zero-load latency equals t_local.
+  std::string memory = "analytic";
+  std::size_t mem_banks = 0;  ///< banked: DRAM banks (0 = one per node)
+  std::size_t mem_queue = 0;  ///< banked: shared ports (0 = one per bank)
+
   void validate() const;
 };
 
@@ -92,14 +102,18 @@ struct SystemRunResult {
 
 /// Runs the parcel-driven split-transaction (test) system.
 /// `net` overrides the interconnect; by default one is built from
-/// params.network and params.round_trip_latency.
+/// params.network and params.round_trip_latency.  `memory` overrides the
+/// memory model; by default one is built from params.memory (nullptr —
+/// meaning the unchanged constant-t_local path — when it is "analytic").
 [[nodiscard]] SystemRunResult run_split_transaction_system(
-    const SplitTransactionParams& params, const Interconnect* net = nullptr);
+    const SplitTransactionParams& params, const Interconnect* net = nullptr,
+    const mem::MemorySystem* memory = nullptr);
 
 /// Runs the blocking message-passing (control) system. The control system
 /// ignores `parallelism` and `t_switch` (one thread per node, no switching).
 [[nodiscard]] SystemRunResult run_message_passing_system(
-    const SplitTransactionParams& params, const Interconnect* net = nullptr);
+    const SplitTransactionParams& params, const Interconnect* net = nullptr,
+    const mem::MemorySystem* memory = nullptr);
 
 /// One Figure 11/12 point: both systems under identical parameters.
 struct ComparisonPoint {

@@ -8,6 +8,7 @@
 #include "arch/params.hpp"
 #include "common/error.hpp"
 #include "des/simulation.hpp"
+#include "memory/memory_system.hpp"
 
 namespace pimsim::arch {
 namespace {
@@ -75,34 +76,41 @@ TEST(Lwp, MeanTimeMatchesCostModel) {
   EXPECT_EQ(lwp.counts().ops, ops);
 }
 
-TEST(Lwp, PortedPathMatchesBatchedMeanWithoutContention) {
-  // One thread with a private port must see the same mean cost as the
+TEST(Lwp, ContendedPathMatchesBatchedMeanWithoutContention) {
+  // One thread with a private bank must see the same mean cost as the
   // statistical path (no conflicts to serialize).
   const SystemParams params = SystemParams::table1();
+  mem::MemoryConfig mc;
+  mc.kind = "banked";
+  mc.nodes = 1;
+  const auto memory = mem::make_memory(mc);
   des::Simulation sim;
-  des::Resource port(sim, 1);
-  Lwp lwp(sim, params, Rng(11), 1000, &port);
+  Lwp lwp(sim, params, Rng(11), 1000, memory.get(), 0);
   const std::uint64_t ops = 20'000;
   sim.spawn(lwp.run(ops));
   sim.run();
   EXPECT_NEAR(sim.now() / static_cast<double>(ops), 12.5, 0.4);
 }
 
-TEST(Lwp, SharedPortContentionSlowsThreadsDown) {
-  // Ablation sanity: two threads sharing one memory port must take longer
-  // per op than two threads with private ports.
+TEST(Lwp, SharedBankContentionSlowsThreadsDown) {
+  // Ablation sanity: two threads sharing one memory bank must take longer
+  // per op than two threads with private banks.
   const SystemParams params = SystemParams::table1();
-  auto run_pair = [&params](bool shared) {
+  auto run_pair = [&params](std::size_t banks) {
+    mem::MemoryConfig mc;
+    mc.kind = "banked";
+    mc.nodes = 2;
+    mc.banks = banks;
+    const auto memory = mem::make_memory(mc);
     des::Simulation sim;
-    des::Resource port_a(sim, 1), port_b(sim, 1);
-    Lwp a(sim, params, Rng(13, 1), 1000, &port_a);
-    Lwp b(sim, params, Rng(13, 2), 1000, shared ? &port_a : &port_b);
+    Lwp a(sim, params, Rng(13, 1), 1000, memory.get(), 0);
+    Lwp b(sim, params, Rng(13, 2), 1000, memory.get(), 1);
     sim.spawn(a.run(20'000));
     sim.spawn(b.run(20'000));
     sim.run();
     return sim.now();
   };
-  EXPECT_GT(run_pair(true), 1.2 * run_pair(false));
+  EXPECT_GT(run_pair(1), 1.2 * run_pair(2));
 }
 
 HostConfig small_config(std::size_t nodes, double pct) {
@@ -178,10 +186,10 @@ TEST(HostSystem, BatchSizeDoesNotBiasTotals) {
 TEST(HostSystem, BankConflictAblationSlowsLwpPhases) {
   auto cfg = small_config(8, 1.0);
   cfg.workload.total_ops = 200'000;
-  cfg.model_bank_conflicts = true;
-  cfg.lwps_per_bank = 1;  // private banks: no conflicts, baseline
+  cfg.memory.kind = "banked";
+  cfg.memory.banks = 8;  // private banks: no conflicts, baseline
   const double clean = run_host_system(cfg).total_cycles;
-  cfg.lwps_per_bank = 4;  // four LWPs share one single-ported bank
+  cfg.memory.banks = 2;  // four LWPs share one single-ported bank
   const double conflicted = run_host_system(cfg).total_cycles;
   EXPECT_GT(conflicted, 1.3 * clean);
 }
@@ -193,8 +201,8 @@ TEST(HostSystem, PrivateBanksMatchContentionFreeModel) {
   auto cfg = small_config(8, 1.0);
   cfg.workload.total_ops = 200'000;
   const double batched = run_host_system(cfg).total_cycles;
-  cfg.model_bank_conflicts = true;
-  cfg.lwps_per_bank = 1;
+  cfg.memory.kind = "banked";
+  cfg.memory.banks = 8;
   const double detailed = run_host_system(cfg).total_cycles;
   EXPECT_NEAR(detailed, batched, 0.05 * batched);
 }
@@ -204,8 +212,9 @@ TEST(HostSystem, ConfigValidation) {
   cfg.lwp_nodes = 0;
   EXPECT_THROW(cfg.validate(), ConfigError);
   cfg = HostConfig{};
-  cfg.lwps_per_bank = 2;  // without enabling the ablation
-  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.memory.kind = "bogus";  // seam config validated by make_memory
+  cfg.workload.total_ops = 1000;
+  EXPECT_THROW((void)run_host_system(cfg), InvalidArgument);
 }
 
 }  // namespace

@@ -31,10 +31,10 @@ TEST(ScenarioRegistry, GlobalHoldsEveryFigureAndAblation) {
        {"table1", "bandwidth", "fig5", "fig6", "fig7", "accuracy", "fig11",
         "fig12", "multithreading", "sensitivity", "ablation_bank_conflicts",
         "ablation_topology", "ablation_switch_cost", "ablation_overlap",
-        "ablation_bandwidth", "hotspot"}) {
+        "ablation_bandwidth", "hotspot", "memory_contention"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
-  EXPECT_EQ(reg.all().size(), 16u);
+  EXPECT_EQ(reg.all().size(), 17u);
   // Every scenario is fully self-describing: summary, paper anchor, and a
   // doc string on every parameter.
   for (const Scenario* s : reg.all()) {
