@@ -124,6 +124,9 @@ HostResult run_impl(const HostConfig& config) {
 
   state.sim.spawn(master(state, config));
   state.sim.run();
+  if (state.sim.metrics_enabled()) {
+    state.memory->collect_metrics(state.sim.metrics());
+  }
 
   HostResult out;
   out.total_cycles = state.sim.now();

@@ -18,6 +18,9 @@
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "des/audit.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace pimsim::core {
 namespace {
@@ -31,16 +34,24 @@ usage:
       for scripts/CI).  `json`: full machine-readable inventory.
 
   pimsim run <scenario> [key=value ...] [format=text|csv|json] [out=PATH]
-              [audit=1]
+              [audit=1] [trace=PATH] [metrics=PATH] [profile=1]
       Runs one scenario.  Unknown keys and mistyped values fail loudly,
       listing the scenario's valid keys.  format defaults to text
       (csv=1 is accepted as an alias for format=csv); out defaults to
       stdout.  audit=1 turns on the event kernel's determinism audit
       (event-chain hashing + invariant sweeps; see docs/DETERMINISM.md)
       and reports the chain summary on stderr.
+      Observability (docs/OBSERVABILITY.md): trace=PATH exports a
+      Chrome-trace-event JSON (Perfetto / chrome://tracing loadable;
+      PIMSIM_TRACE=full in the environment widens the kind mask to the
+      per-event kernel records).  metrics=PATH dumps the metrics
+      registry (.csv extension selects CSV, anything else JSON).
+      profile=1 prints the per-EventAction-kind dispatch profile on
+      stderr.
 
   pimsim sweep <scenario> config=FILE [key=value ...] [jobs=N]
-                [format=text|csv|json] [out=PATH]
+                [format=text|csv|json] [out=PATH] [metrics=PATH]
+                [profile=1]
       Runs a declarative parameter grid.  FILE holds key=value lines
       ('#' comments); a comma-separated value for a *scalar* parameter
       declares a grid axis (list-typed parameters pass through
@@ -48,7 +59,10 @@ usage:
       Points fan out across a SweepRunner pool of `jobs` threads
       (0 = all cores); each point's own `threads` knob is pinned to 1
       unless set explicitly.  Output is one table per point, preceded
-      by `# <scenario> <assignment>`.
+      by `# <scenario> <assignment>`.  metrics=PATH aggregates the
+      metrics registries of every point into one dump (deterministic
+      regardless of jobs=N); profile=1 prints the pooled dispatch
+      profile on stderr.
 
   pimsim verify <scenario>|all [strict=1] [audit=1]
       Re-checks golden figure outputs on the scenario's reduced verify
@@ -242,18 +256,77 @@ void report_audit(std::ostream& os) {
      << " event(s), chain " << std::hex << sum.combined << std::dec << "\n";
 }
 
+/// The observability switches use the same env-var seam as enable_audit:
+/// every Simulation constructed after the call reads the flag back, which
+/// is how the switch reaches simulations buried inside figure generators.
+void enable_trace() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called before any sweep
+  // thread is spawned; only Simulation constructors read it back.
+  // overwrite=0: a PIMSIM_TRACE=full (or custom cap) already in the
+  // environment keeps its value.
+  ::setenv("PIMSIM_TRACE", "1", 0);
+  obs::TraceHub::global().reset();
+}
+
+void enable_metrics() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): same discipline as enable_audit.
+  ::setenv("PIMSIM_METRICS", "1", 1);
+  obs::MetricsHub::global().reset();
+}
+
+void enable_profile() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): same discipline as enable_audit.
+  ::setenv("PIMSIM_PROFILE", "1", 1);
+  obs::ProfileHub::global().reset();
+}
+
+void write_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  require(os.good(), "pimsim: cannot open trace file '" + path + "'");
+  const auto& hub = obs::TraceHub::global();
+  hub.write_json(os);
+  std::cerr << "# trace: " << hub.simulations() << " simulation(s), "
+            << hub.records() << " record(s), " << hub.dropped()
+            << " dropped -> " << path << "\n";
+}
+
+void write_metrics_file(const std::string& path) {
+  std::ofstream os(path);
+  require(os.good(), "pimsim: cannot open metrics file '" + path + "'");
+  const auto& hub = obs::MetricsHub::global();
+  const bool csv = path.size() >= 4 && path.rfind(".csv") == path.size() - 4;
+  if (csv) {
+    hub.write_csv(os);
+  } else {
+    hub.write_json(os);
+  }
+  std::cerr << "# metrics: " << hub.simulations() << " simulation(s) -> "
+            << path << "\n";
+}
+
+void report_profile(std::ostream& os) {
+  obs::ProfileHub::global().write_table(os);
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   require(!args.empty(), "pimsim run: missing scenario name (try 'pimsim list')");
   const Scenario& scenario = ScenarioRegistry::global().get(args[0]);
   const Config cfg = config_from_tokens({args.begin() + 1, args.end()});
   const std::string format = format_of(cfg);
   const bool audit = cfg.get_bool("audit", false);
+  const std::string trace_path = cfg.get_string("trace", "");
+  const std::string metrics_path = cfg.get_string("metrics", "");
+  const bool profile = cfg.get_bool("profile", false);
   preflight_out(cfg);
 
   if (audit) enable_audit();
+  if (!trace_path.empty()) enable_trace();
+  if (!metrics_path.empty()) enable_metrics();
+  if (profile) enable_profile();
   const auto start = std::chrono::steady_clock::now();
-  const Table table =
-      run_scenario(scenario, cfg, {"csv", "format", "out", "audit"});
+  const Table table = run_scenario(
+      scenario, cfg,
+      {"csv", "format", "out", "audit", "trace", "metrics", "profile"});
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -262,6 +335,9 @@ int cmd_run(const std::vector<std::string>& args) {
   const auto out = open_out(cfg);
   render(out ? *out : std::cout, table, format);
   if (audit) report_audit(std::cerr);
+  if (!trace_path.empty()) write_trace_file(trace_path);
+  if (!metrics_path.empty()) write_metrics_file(metrics_path);
+  if (profile) report_profile(std::cerr);
   std::cerr << "# generated in " << elapsed << " s\n";
   return 0;
 }
@@ -351,7 +427,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
   Config merged = Config::from_string(text);
   // Driver keys in the file would be silently shadowed by the CLI's
   // (format) or mistaken for scenario parameters (jobs) — reject loudly.
-  for (const char* driver : {"config", "jobs", "format", "out", "csv"}) {
+  for (const char* driver :
+       {"config", "jobs", "format", "out", "csv", "metrics", "profile"}) {
     require(!merged.has(driver),
             std::string("pimsim sweep: driver key '") + driver +
                 "' belongs on the command line, not in config file '" +
@@ -381,7 +458,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
     if (eq == std::string::npos) continue;
     const std::string key = token.substr(0, eq);
     if (key == "config" || key == "jobs" || key == "format" || key == "out" ||
-        key == "csv") {
+        key == "csv" || key == "metrics" || key == "profile") {
       continue;
     }
     merged.set(key, cli.get_string(key, ""));
@@ -390,12 +467,18 @@ int cmd_sweep(const std::vector<std::string>& args) {
 
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   const std::string format = format_of(cli);
+  const std::string metrics_path = cli.get_string("metrics", "");
+  const bool profile = cli.get_bool("profile", false);
   preflight_out(cli);
 
   const std::vector<SweepPoint> points =
       expand_grid(scenario, merged, key_order, /*pin_inner_threads=*/true);
   require(!points.empty(), "pimsim sweep: empty parameter grid");
 
+  // Aggregation across sweep points is deterministic regardless of
+  // jobs=N: the hub folds snapshots in content order, not arrival order.
+  if (!metrics_path.empty()) enable_metrics();
+  if (profile) enable_profile();
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::unique_ptr<Table>> tables(points.size());
   SweepRunner runner(jobs);
@@ -417,6 +500,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
        << "\n";
     render(os, *tables[i], format);
   }
+  if (!metrics_path.empty()) write_metrics_file(metrics_path);
+  if (profile) report_profile(std::cerr);
   std::cerr << "# swept " << points.size() << " point(s) on "
             << runner.threads() << " thread(s) in " << elapsed << " s\n";
   return 0;

@@ -268,6 +268,7 @@ Table make_hotspot_table(const Config& cfg) {
         sim.spawn(hotspot_source(sim, *net, src, nodes, gap, packets, bytes));
       }
       sim.run();
+      if (sim.metrics_enabled()) net->collect_metrics(sim.metrics());
       // Non-const: link_stats() folds the link's deferred credit ledger.
       interconnect::PacketNetwork& pn = *net->network();
       const double max = pn.latency_stats().max();

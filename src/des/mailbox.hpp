@@ -48,7 +48,7 @@ class Mailbox {
                "': resumed receiver without a message";
       });
       if (box_.sim_.tracing_enabled()) {
-        box_.sim_.trace(TraceKind::kMailboxReceive, box_.name_);
+        box_.sim_.trace(TraceKind::kMailboxReceive, box_.trace_label());
       }
       return std::move(*slot_);
     }
@@ -65,8 +65,8 @@ class Mailbox {
   /// coroutine-resume calendar entry (EventAction kResume).
   void send(T value) {
     // tracing_enabled() first: trace() itself is an inline branch, but
-    // evaluating its arguments is not free on a path this hot.
-    if (sim_.tracing_enabled()) sim_.trace(TraceKind::kMailboxSend, name_);
+    // the lazy label interning is not free on a path this hot.
+    if (sim_.tracing_enabled()) sim_.trace(TraceKind::kMailboxSend, trace_label());
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
@@ -98,8 +98,16 @@ class Mailbox {
     std::optional<T>* slot;
   };
 
+  /// Interns the mailbox name on first traced use (only reached behind a
+  /// tracing_enabled() check, so the id is valid for the active tracer).
+  [[nodiscard]] LabelId trace_label() const {
+    if (trace_label_ == kLabelUninterned) trace_label_ = sim_.trace_label(name_);
+    return trace_label_;
+  }
+
   Simulation& sim_;
   std::string name_;
+  mutable LabelId trace_label_ = kLabelUninterned;
   std::deque<T> items_;
   std::deque<Waiter> waiters_;
 };

@@ -22,7 +22,11 @@ void Resource::AcquireAwaitable::await_suspend(std::coroutine_handle<> h) {
   Resource& r = resource_;
   r.queue_.push_back(Waiter{h, n_, r.sim_.now()});
   r.queued_.set(r.sim_.now(), static_cast<double>(r.queue_.size()));
-  r.sim_.trace(TraceKind::kResourceEnqueued, r.name_);
+  // tracing_enabled() first: the mistake mailbox.hpp warns about — the
+  // label lookup is not free on a hot path.
+  if (r.sim_.tracing_enabled()) {
+    r.sim_.trace(TraceKind::kResourceEnqueued, r.trace_label());
+  }
 }
 
 Resource::AcquireAwaitable Resource::acquire(std::size_t n) {
@@ -48,7 +52,7 @@ void Resource::grant(std::size_t n, SimTime enqueued_at) {
   ++grants_;
   wait_.add(sim_.now() - enqueued_at);
   busy_.set(sim_.now(), static_cast<double>(in_use_));
-  sim_.trace(TraceKind::kResourceAcquire, name_);
+  if (sim_.tracing_enabled()) sim_.trace(TraceKind::kResourceAcquire, trace_label());
 }
 
 void Resource::release(std::size_t n) {
@@ -57,7 +61,7 @@ void Resource::release(std::size_t n) {
   });
   in_use_ -= n;
   busy_.set(sim_.now(), static_cast<double>(in_use_));
-  sim_.trace(TraceKind::kResourceRelease, name_);
+  if (sim_.tracing_enabled()) sim_.trace(TraceKind::kResourceRelease, trace_label());
   drain_queue();
 }
 

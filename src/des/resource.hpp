@@ -76,10 +76,18 @@ class Resource {
   void grant(std::size_t n, SimTime enqueued_at);
   void drain_queue();
 
+  /// Interns the resource name on first traced use (only reached behind a
+  /// tracing_enabled() check, so the id is valid for the active tracer).
+  [[nodiscard]] LabelId trace_label() const {
+    if (trace_label_ == kLabelUninterned) trace_label_ = sim_.trace_label(name_);
+    return trace_label_;
+  }
+
   Simulation& sim_;
   std::size_t capacity_;
   std::size_t in_use_ = 0;
   std::string name_;
+  mutable LabelId trace_label_ = kLabelUninterned;
   std::deque<Waiter> queue_;
   TimeWeighted busy_;
   TimeWeighted queued_;

@@ -1,26 +1,59 @@
 #include "des/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
 #include "des/process.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace pimsim::des {
 
+namespace {
+
+/// True for any non-empty value except the literal "0".
+bool env_enabled(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace
+
 Simulation::Simulation() {
-  // PIMSIM_AUDIT=1 turns on the determinism audit for every simulation
-  // in the process — the seam `pimsim run/verify ... audit=1` uses to
-  // reach simulations constructed deep inside figure generators.
+  // PIMSIM_AUDIT / PIMSIM_TRACE / PIMSIM_METRICS / PIMSIM_PROFILE turn the
+  // corresponding layer on for every simulation in the process — the seam
+  // `pimsim run ... audit=1 trace=... metrics=... profile=1` uses to reach
+  // simulations constructed deep inside figure generators.
   // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
   // in-process calls setenv concurrently with simulation construction.
-  const char* audit_env = std::getenv("PIMSIM_AUDIT");
-  if (audit_env != nullptr && audit_env[0] != '\0' &&
-      !(audit_env[0] == '0' && audit_env[1] == '\0')) {
-    set_audit(true);
+  if (env_enabled(std::getenv("PIMSIM_AUDIT"))) set_audit(true);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* trace_env = std::getenv("PIMSIM_TRACE");
+  if (env_enabled(trace_env)) {
+    set_trace(true);
+    // The per-event kernel kinds flood the bounded buffer on any
+    // non-trivial run, so the env-driven tracer masks them out unless
+    // explicitly asked for everything with PIMSIM_TRACE=full.
+    if (std::string_view(trace_env) != "full") {
+      owned_tracer_->set_kind_mask(Tracer::kDefaultKinds);
+    }
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* cap_env = std::getenv("PIMSIM_TRACE_CAP");
+    if (cap_env != nullptr && cap_env[0] != '\0') {
+      owned_tracer_->set_capacity(
+          static_cast<std::size_t>(std::strtoull(cap_env, nullptr, 10)));
+    }
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (env_enabled(std::getenv("PIMSIM_METRICS"))) set_metrics(true);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (env_enabled(std::getenv("PIMSIM_PROFILE"))) set_profile(true);
 }
 
 Simulation::~Simulation() {
@@ -36,6 +69,49 @@ Simulation::~Simulation() {
   }
   // Pending EventActions (and anything they own) die with slots_.
   if (audit_) AuditRegistry::global().absorb(*audit_);
+  // Publish enabled observability layers to their process-wide hubs.
+  if (metrics_) {
+    // The kernel's own counters join the registry it has been hosting.
+    metrics_->counter("des.events_dispatched").add(dispatched_);
+    obs::MetricsHub::global().absorb(*metrics_);
+  }
+  if (owned_tracer_) obs::TraceHub::global().absorb(*owned_tracer_);
+  if (profiler_) obs::ProfileHub::global().absorb(*profiler_);
+}
+
+// --- observability switches ----------------------------------------------
+
+void Simulation::set_trace(bool enabled) {
+  if (enabled) {
+    if (!owned_tracer_) {
+      owned_tracer_ = std::make_unique<Tracer>();
+      set_tracer(owned_tracer_.get());
+    }
+  } else {
+    if (tracer_ == owned_tracer_.get()) tracer_ = nullptr;
+    owned_tracer_.reset();
+  }
+}
+
+void Simulation::set_metrics(bool enabled) {
+  if (enabled) {
+    if (!metrics_) metrics_ = std::make_unique<obs::MetricsRegistry>();
+  } else {
+    metrics_.reset();
+  }
+}
+
+obs::MetricsRegistry& Simulation::metrics() {
+  ensure(metrics_ != nullptr, "Simulation::metrics: metrics mode is off");
+  return *metrics_;
+}
+
+void Simulation::set_profile(bool enabled) {
+  if (enabled) {
+    if (!profiler_) profiler_ = std::make_unique<obs::KernelProfiler>();
+  } else {
+    profiler_.reset();
+  }
 }
 
 // --- slot pool -----------------------------------------------------------
@@ -58,7 +134,7 @@ bool Simulation::cancel(EventId id) {
   slot.action.reset();
   release_slot(index);
   ++stale_;
-  if (tracer_) trace(TraceKind::kEventCancelled, "event", std::to_string(id));
+  if (tracer_) trace(TraceKind::kEventCancelled, lbl_event_, id);
   // Lazy deletion keeps cancel O(1); compact once stale entries dominate
   // so cancel-heavy workloads cannot grow the calendar without bound.
   if (stale_ * 2 > calendar_entries() && calendar_entries() >= kCompactFloor) {
@@ -205,7 +281,7 @@ void Simulation::dispatch(const HeapEntry& entry) {
   if (tracer_) {
     const EventId id =
         (static_cast<EventId>(entry.gen) << 32) | static_cast<EventId>(entry.slot);
-    trace(TraceKind::kEventDispatched, "event", std::to_string(id));
+    trace(TraceKind::kEventDispatched, lbl_event_, id);
   }
   if (audit_) {
     audit_->record(now_, current_seq_, action.kind_id());
@@ -219,8 +295,29 @@ void Simulation::dispatch(const HeapEntry& entry) {
       --audit_countdown_;
     }
   }
-  action.invoke();
+  if (profiler_) {
+    dispatch_profiled(action);
+  } else {
+    action.invoke();
+  }
   current_seq_ = 0;  // outside dispatch the documented value is 0
+}
+
+void Simulation::dispatch_profiled(EventAction& action) {
+  // Counts are exact; wall time is sampled (one steady_clock pair every
+  // kSampleEvery dispatches, attributed to that dispatch's kind) so the
+  // timer cost is amortized to noise.  steady_clock measures wall time
+  // only — it never feeds model state, so determinism is unaffected.
+  const std::uint8_t kind = action.kind_id();
+  profiler_->count(kind);
+  if (profiler_->sample_due()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    action.invoke();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    profiler_->record_sample(kind, dt.count());
+  } else {
+    action.invoke();
+  }
 }
 
 void Simulation::rethrow_pending() {
@@ -308,7 +405,7 @@ void Simulation::corrupt_heap_for_test() {
 
 void Simulation::spawn(Process process) {
   auto h = process.release_for_spawn(*this);
-  if (tracer_) trace(TraceKind::kProcessSpawned, "process");
+  if (tracer_) trace(TraceKind::kProcessSpawned, lbl_process_);
   // Start the body via the calendar so spawn() never runs model code inline;
   // this keeps spawn order == start order at a given timestamp.
   resume_soon(h);
@@ -333,7 +430,7 @@ void Simulation::unregister_process(std::coroutine_handle<> h) {
     live_index_[live_order_[pos]] = pos;
   }
   live_order_.pop_back();
-  if (tracer_) trace(TraceKind::kProcessFinished, "process");
+  if (tracer_) trace(TraceKind::kProcessFinished, lbl_process_);
 }
 
 void Simulation::set_pending_exception(std::exception_ptr ep) {

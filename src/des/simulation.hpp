@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,13 @@
 #include "des/audit.hpp"
 #include "des/event_action.hpp"
 #include "des/trace.hpp"
+
+// Observability layer (src/obs/): forward-declared so the kernel header
+// stays include-light; simulation.cpp pulls in the real definitions.
+namespace pimsim::obs {
+class KernelProfiler;
+class MetricsRegistry;
+}  // namespace pimsim::obs
 
 namespace pimsim::des {
 
@@ -114,17 +122,33 @@ class Simulation {
     return live_order_.size();
   }
 
-  /// Installs (or removes, with nullptr) a tracer. Not owned.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  /// Installs (or removes, with nullptr) a tracer.  Not owned; externally
+  /// installed tracers are not absorbed into obs::TraceHub at destruction
+  /// (use set_trace() for that).
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+      lbl_event_ = tracer_->intern("event");
+      lbl_process_ = tracer_->intern("process");
+    }
+  }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
   /// Fast guard for hot paths that would otherwise pay argument setup
-  /// (string refs, record construction) before trace() can bail out.
+  /// (label interning, payload computation) before trace() can bail out.
   [[nodiscard]] bool tracing_enabled() const { return tracer_ != nullptr; }
-  /// Emits a trace record if tracing is enabled.  Inline so the
+  /// Emits a POD trace record if tracing is enabled.  Inline so the
   /// tracer-disabled case costs one predicted branch on the hot paths.
-  void trace(TraceKind kind, const std::string& label,
-             const std::string& detail = {}) const {
-    if (tracer_) tracer_->record(TraceRecord{now_, kind, label, detail});
+  /// `label` is an interned id (see trace_label); `a`/`b` are
+  /// kind-specific payload words — no strings, no allocation.
+  void trace(TraceKind kind, LabelId label, std::uint64_t a = 0,
+             std::uint64_t b = 0) const {
+    if (tracer_) tracer_->record(TraceRecord{now_, a, b, label, kind});
+  }
+  /// Interns `name` into the active tracer's label table (0 when tracing
+  /// is off).  Call sites cache the returned id (kLabelUninterned as the
+  /// not-yet sentinel) so the hot path never touches strings.
+  [[nodiscard]] LabelId trace_label(std::string_view name) const {
+    return tracer_ != nullptr ? tracer_->intern(name) : LabelId{0};
   }
 
   // --- determinism audit mode (see des/audit.hpp) ------------------------
@@ -155,6 +179,38 @@ class Simulation {
   /// root's key with the last entry's) so tests can prove the audit
   /// sweep catches corruption.  Requires >= 2 distinct heap entries.
   void corrupt_heap_for_test();
+
+  // --- observability (src/obs/, docs/OBSERVABILITY.md) -------------------
+  //
+  // Three independently switchable layers behind the same null-check
+  // contract as audit mode (one predicted branch per hot-path action when
+  // off): a simulation-owned Tracer feeding the Chrome-trace exporter
+  // (PIMSIM_TRACE / `trace=out.json`), a metrics registry components bind
+  // typed handles into (PIMSIM_METRICS / `metrics=out.json`), and a kernel
+  // self-profiler attributing dispatches to EventAction kinds
+  // (PIMSIM_PROFILE / `profile=1`).  At destruction each enabled layer is
+  // absorbed into its process-wide hub (obs::TraceHub, obs::MetricsHub,
+  // obs::ProfileHub) — how the CLI reaches simulations buried inside
+  // figure generators, mirroring the audit seam above.
+
+  /// Enables/disables the owned tracer (absorbed into obs::TraceHub at
+  /// destruction, unlike an external set_tracer() sink).
+  void set_trace(bool enabled);
+  /// Enables/disables the metrics registry.  Components grab their
+  /// handles at construction time, so enable before building the model.
+  void set_metrics(bool enabled);
+  /// Fast guard, mirroring tracing_enabled(): components gate metric
+  /// recording and registration behind this.
+  [[nodiscard]] bool metrics_enabled() const { return metrics_ != nullptr; }
+  /// The metrics registry; requires metrics_enabled().
+  [[nodiscard]] obs::MetricsRegistry& metrics();
+  /// Enables/disables the kernel self-profiler.
+  void set_profile(bool enabled);
+  [[nodiscard]] bool profile_enabled() const { return profiler_ != nullptr; }
+  /// The profiler, or nullptr when off.
+  [[nodiscard]] const obs::KernelProfiler* profiler() const {
+    return profiler_.get();
+  }
 
   // --- hooks for deterministic deferred-event components -----------------
   //
@@ -277,6 +333,7 @@ class Simulation {
   void release_slot(std::uint32_t index);
   bool pop_next(HeapEntry& out, bool bounded, SimTime horizon);
   void dispatch(const HeapEntry& entry);
+  void dispatch_profiled(EventAction& action);
   void rethrow_pending();
 
   // D-ary implicit min-heap over heap_ (children of i: D*i+1 .. D*i+D).
@@ -308,6 +365,15 @@ class Simulation {
   std::unordered_map<void*, std::size_t> live_index_;
   std::exception_ptr pending_exception_;
   Tracer* tracer_ = nullptr;
+  // Cached interned ids for the kernel's own trace labels (set by
+  // set_tracer so the scheduling fast path stays string-free).
+  LabelId lbl_event_ = 0;
+  LabelId lbl_process_ = 0;
+  // Observability layers: null when off, so every hot path pays exactly
+  // one predicted branch (the audit-mode contract).
+  std::unique_ptr<Tracer> owned_tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::KernelProfiler> profiler_;
   bool destroying_ = false;
   // Audit mode: null when off, so the dispatch hot path pays one branch.
   std::unique_ptr<AuditLog> audit_;
@@ -362,7 +428,7 @@ inline EventId Simulation::schedule_action(SimTime at, EventAction action) {
   ++live_events_;
   const EventId id = (static_cast<EventId>(slot.generation) << 32) |
                      static_cast<EventId>(index);
-  if (tracer_) trace(TraceKind::kEventScheduled, "event", std::to_string(id));
+  if (tracer_) trace(TraceKind::kEventScheduled, lbl_event_, id);
   return id;
 }
 
@@ -379,7 +445,7 @@ inline des::EventId Simulation::schedule_action_seq(SimTime at,
   ++live_events_;
   const EventId id = (static_cast<EventId>(slot.generation) << 32) |
                      static_cast<EventId>(index);
-  if (tracer_) trace(TraceKind::kEventScheduled, "event", std::to_string(id));
+  if (tracer_) trace(TraceKind::kEventScheduled, lbl_event_, id);
   return id;
 }
 

@@ -14,16 +14,27 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kResourceEnqueued: return "resource-enqueued";
     case TraceKind::kMailboxSend: return "mailbox-send";
     case TraceKind::kMailboxReceive: return "mailbox-receive";
+    case TraceKind::kCounter: return "counter";
+    case TraceKind::kAsyncBegin: return "async-begin";
+    case TraceKind::kAsyncEnd: return "async-end";
+    case TraceKind::kInstant: return "instant";
   }
   return "unknown";
 }
 
-void Tracer::record(TraceRecord rec) {
-  if (callback_) {
-    callback_(rec);
-  } else {
-    records_.push_back(std::move(rec));
-  }
+Tracer::Tracer(Callback cb, std::size_t capacity)
+    : callback_(std::move(cb)), capacity_(capacity) {
+  labels_.emplace_back();  // LabelId 0 is the empty string
+  index_.emplace(std::string{}, LabelId{0});
+}
+
+LabelId Tracer::intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<LabelId>(labels_.size());
+  labels_.emplace_back(name);
+  index_.emplace(std::string(name), id);
+  return id;
 }
 
 }  // namespace pimsim::des

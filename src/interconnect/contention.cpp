@@ -44,6 +44,10 @@ void ContentionInterconnect::deliver(des::Simulation& sim, NodeId src,
   net_->send(src, dst, bytes, std::move(arrive));
 }
 
+void ContentionInterconnect::collect_metrics(obs::MetricsRegistry& registry) const {
+  if (net_ != nullptr) net_->collect_metrics(registry);
+}
+
 std::unique_ptr<ContentionInterconnect> make_contention_interconnect(
     const std::string& kind, std::size_t nodes, Cycles round_trip,
     PacketConfig config) {

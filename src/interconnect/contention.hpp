@@ -58,6 +58,9 @@ class ContentionInterconnect final : public parcel::Interconnect {
   /// (0) is already right, restated here so the intent is explicit.
   [[nodiscard]] std::size_t idle_processes() const override { return 0; }
 
+  /// Delegates to PacketNetwork::collect_metrics (no-op before bind()).
+  void collect_metrics(obs::MetricsRegistry& registry) const override;
+
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const PacketConfig& config() const { return cfg_; }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pimsim::interconnect {
 
@@ -96,6 +97,41 @@ PacketNetwork::PacketNetwork(des::Simulation& sim, Topology topology,
   // real event) and no router latency (which splits the old arrival into
   // an arrive + a delayed enqueue with its own calendar position).
   lazy_arrivals_ = cfg_.link_latency > 0.0 && cfg_.router_latency <= 0.0;
+  if (sim_.metrics_enabled()) {
+    m_latency_ = &sim_.metrics().summary("net.packet_latency_cycles");
+  }
+}
+
+// --- observability -------------------------------------------------------
+
+des::LabelId PacketNetwork::occupancy_label(std::uint32_t link) {
+  if (link_trace_labels_.empty()) {
+    link_trace_labels_.assign(links_.size(), des::kLabelUninterned);
+  }
+  des::LabelId& label = link_trace_labels_[link];
+  if (label == des::kLabelUninterned) {
+    label = sim_.trace_label("net.link" + std::to_string(link) + ".occupancy");
+  }
+  return label;
+}
+
+void PacketNetwork::trace_occupancy(std::uint32_t link) {
+  if (!sim_.tracing_enabled()) return;
+  sim_.trace(des::TraceKind::kCounter, occupancy_label(link),
+             static_cast<std::uint64_t>(links_[link].occupancy.current()));
+}
+
+void PacketNetwork::collect_metrics(obs::MetricsRegistry& registry) {
+  registry.counter("net.packets_sent").add(sent_);
+  registry.counter("net.packets_delivered").add(delivered_);
+  registry.counter("net.flit_hops").add(flit_hops_);
+  obs::Summary& util = registry.summary("net.link_utilization");
+  obs::Summary& occupancy = registry.summary("net.link_occupancy_mean");
+  for (std::uint32_t li = 0; li < links_.size(); ++li) {
+    const LinkStats stats = link_stats(li);
+    util.add(stats.utilization);
+    occupancy.add(stats.mean_occupancy);
+  }
 }
 
 // --- public API ----------------------------------------------------------
@@ -286,10 +322,12 @@ void PacketNetwork::release_credit(std::uint32_t li) {
   LinkState& link = links_[li];
   fold_ledger(link, sim_.now());
   link.occupancy.add(sim_.now(), -1.0);
+  trace_occupancy(li);
   if (link.phase == Phase::kBlocked) {
     // Strict FIFO hand-off: the staged head flit takes the slot at the
     // release instant (occupancy never dips).
     link.occupancy.add(sim_.now(), 1.0);
+    trace_occupancy(li);
     if (cfg_.wormhole) {
       // Restart the wire directly; the lane hop below only exists to
       // reproduce the legacy engine's resume positions.
@@ -329,6 +367,7 @@ void PacketNetwork::on_credit_wake(std::uint32_t li) {
     // The matured return funds the staged head flit at its exact cycle.
     --link.credits;
     link.occupancy.add(sim_.now(), 1.0);
+    trace_occupancy(li);
     begin(li);
     return;
   }
@@ -454,6 +493,7 @@ void PacketNetwork::try_begin(std::uint32_t li) {
   }
   --link.credits;
   link.occupancy.add(sim_.now(), 1.0);
+  trace_occupancy(li);
   begin(li);
 }
 
@@ -494,6 +534,7 @@ void PacketNetwork::run_train(std::uint32_t li, SegRing* ring,
   // `start` is in the future.
   link.credits -= flits;
   link.occupancy.add(sim_.now(), static_cast<double>(flits));
+  trace_occupancy(li);
   link.train_busy_from = start;
   link.train_active = true;
   link.phase = Phase::kSerializing;
@@ -691,6 +732,7 @@ void PacketNetwork::complete(Handle handle) {
   const double latency = sim_.now() - p.injected_at;
   latency_.add(latency);
   latency_hist_.add(latency);
+  if (m_latency_) m_latency_->add(latency);
   ++delivered_;
   std::function<void()> cb = std::move(p.on_delivered);
   free_packet(handle);

@@ -62,6 +62,11 @@
 #include "interconnect/packet.hpp"
 #include "interconnect/topology.hpp"
 
+namespace pimsim::obs {
+class MetricsRegistry;
+class Summary;
+}  // namespace pimsim::obs
+
 namespace pimsim::interconnect {
 
 /// Aggregate statistics of one directed link.
@@ -113,6 +118,11 @@ class PacketNetwork {
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const PacketConfig& config() const { return cfg_; }
+
+  /// Publishes per-link utilization/occupancy summaries and the packet
+  /// counters into `registry` (end-of-run; folds the credit ledgers, hence
+  /// non-const).  Callers guard with sim.metrics_enabled().
+  void collect_metrics(obs::MetricsRegistry& registry);
 
  private:
   /// Pooled packet record; (generation << 32 | index) handles detect
@@ -247,6 +257,10 @@ class PacketNetwork {
   [[nodiscard]] Handle alloc_packet();
   void free_packet(Handle handle);
 
+  /// Emits a link-occupancy counter trace record (no-op unless tracing).
+  void trace_occupancy(std::uint32_t link);
+  [[nodiscard]] des::LabelId occupancy_label(std::uint32_t link);
+
   des::Simulation& sim_;
   Topology topo_;
   PacketConfig cfg_;
@@ -268,6 +282,11 @@ class PacketNetwork {
   std::uint64_t flit_hops_ = 0;
   RunningStats latency_;
   Histogram latency_hist_;
+  /// Metrics handle, bound at construction when metrics are enabled; null
+  /// otherwise (one predicted branch per delivery).
+  obs::Summary* m_latency_ = nullptr;
+  /// Lazily interned per-link counter-track labels (tracing only).
+  std::vector<des::LabelId> link_trace_labels_;
 };
 
 }  // namespace pimsim::interconnect

@@ -463,12 +463,68 @@ void rule_unordered(const Ruleset& r) {
   }
 }
 
+// --- unguarded-trace -----------------------------------------------------
+
+void rule_unguarded_trace(const Ruleset& r) {
+  // Scope: production sources only.  The observability layer itself and
+  // the Tracer implementation are the machinery behind the guards, so
+  // they are exempt (tests and tools call these freely anyway).
+  if (r.path.find("src/") == std::string::npos) return;
+  if (r.path.find("src/obs/") != std::string::npos) return;
+  if (r.path.find("src/des/trace.") != std::string::npos) return;
+
+  struct Hot {
+    const char* token;
+    const char* guard;
+  };
+  static constexpr Hot kHot[] = {
+      {"trace", "tracing_enabled"},
+      {"metrics", "metrics_enabled"},
+  };
+  for (const Hot& h : kHot) {
+    // Lines carrying the guard (typically `if (sim.tracing_enabled())`).
+    std::vector<int> guard_lines;
+    for (const std::size_t pos : token_occurrences(r.m.text, h.guard)) {
+      guard_lines.push_back(r.m.line_of(pos));
+    }
+    for (const std::size_t pos : token_occurrences(r.m.text, h.token)) {
+      // Only member calls (`sim.trace(...)`, `sim->metrics()`): the
+      // guard contract covers the Simulation hot-path accessors, not
+      // local helpers that happen to share the name.
+      std::size_t before = pos;
+      while (before > 0 && std::isspace(static_cast<unsigned char>(
+                               r.m.text[before - 1]))) {
+        --before;
+      }
+      const bool member =
+          (before >= 1 && r.m.text[before - 1] == '.') ||
+          (before >= 2 && r.m.text[before - 2] == '-' &&
+           r.m.text[before - 1] == '>');
+      if (!member) continue;
+      const std::size_t after =
+          skip_ws(r.m.text, pos + std::string(h.token).size());
+      if (after >= r.m.text.size() || r.m.text[after] != '(') continue;
+      const int line = r.m.line_of(pos);
+      const bool guarded =
+          std::any_of(guard_lines.begin(), guard_lines.end(),
+                      [line](int g) { return g <= line && g >= line - 2; });
+      if (guarded) continue;
+      r.report("unguarded-trace", pos,
+               std::string(".") + h.token + "() without a " + h.guard +
+                   "() guard on the same line or the two lines above; "
+                   "observability must cost one predicted branch when off "
+                   "(argument evaluation is not free)");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kRules = {
       "unordered-container", "unordered-iter", "raw-entropy",
       "mutable-static",      "const-cast",     "bad-allow",
+      "unguarded-trace",
   };
   return kRules;
 }
@@ -482,6 +538,7 @@ std::vector<Finding> lint_source(const std::string& path,
   rule_raw_entropy(r);
   rule_mutable_static(r);
   rule_unordered(r);
+  rule_unguarded_trace(r);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -25,6 +25,13 @@
 //   const-cast           const_cast — hides mutation from the type
 //                        system, which is how "observationally const"
 //                        state changes sneak past review and TSan.
+//   unguarded-trace      a `.trace(...)` / `.metrics()` member call in
+//                        src/ without a tracing_enabled() /
+//                        metrics_enabled() guard on the same line or the
+//                        two lines above — argument evaluation (label
+//                        interning, registry lookups) is not free, so
+//                        the off path must stay one predicted branch
+//                        (src/obs/ and the Tracer itself are exempt).
 //
 // Suppressions: a comment of the form `// lint:allow(const-cast): why
 // it is safe` — any rule id, comma-separate several — on the same line

@@ -1,8 +1,10 @@
 #include "memory/contention_memory.hpp"
 
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pimsim::mem {
 
@@ -52,6 +54,11 @@ struct ContentionMemory::Engine {
   std::size_t ports = 0;
   std::size_t in_service = 0;
   std::uint64_t total_accesses = 0;
+  /// Metrics handle, bound at engine construction when metrics are
+  /// enabled; null otherwise (one predicted branch per issue/complete).
+  obs::Gauge* m_queued = nullptr;
+  /// Lazily interned per-bank queue-depth counter labels (tracing only).
+  std::vector<des::LabelId> bank_trace_labels;
 
   Engine(des::Simulation& s, const ContentionMemory& m)
       : sim(s), owner(m), ports(m.cfg_.resolved_ports()) {
@@ -59,6 +66,26 @@ struct ContentionMemory::Engine {
     for (auto& b : banks) b.rows = DramBank(m.cfg_.spec);
     ring.resize(banks.size());
     slab.reserve(64);
+    if (sim.metrics_enabled()) {
+      m_queued = &sim.metrics().gauge("mem.queued_requests");
+    }
+  }
+
+  des::LabelId bank_label(std::uint32_t bank_idx) {
+    if (bank_trace_labels.empty()) {
+      bank_trace_labels.assign(banks.size(), des::kLabelUninterned);
+    }
+    des::LabelId& label = bank_trace_labels[bank_idx];
+    if (label == des::kLabelUninterned) {
+      label = sim.trace_label("mem.bank" + std::to_string(bank_idx) + ".queue");
+    }
+    return label;
+  }
+
+  /// Emits a bank-queue-depth counter record (no-op unless tracing).
+  void trace_queue(std::uint32_t bank_idx) {
+    if (!sim.tracing_enabled()) return;
+    sim.trace(des::TraceKind::kCounter, bank_label(bank_idx), banks[bank_idx].qlen);
   }
 
   std::uint32_t alloc() {
@@ -95,6 +122,8 @@ struct ContentionMemory::Engine {
     b.qhead = r.next;
     if (b.qhead == kNone) b.qtail = kNone;
     --b.qlen;
+    if (m_queued) m_queued->add(sim.now(), -1.0);
+    trace_queue(bank_idx);
     b.busy = true;
     ++in_service;
     (void)b.rows.access_ns(r.row);  // open-row hit/miss statistics only
@@ -127,6 +156,8 @@ struct ContentionMemory::Engine {
     ++b.qlen;
     ++b.enqueued;
     ++total_accesses;
+    if (m_queued) m_queued->add(sim.now(), 1.0);
+    trace_queue(r.bank);
     if (!b.busy && !b.parked) {
       if (in_service < ports) {
         start_service(r.bank);
@@ -228,6 +259,23 @@ void ContentionMemory::access(des::Simulation& sim, std::size_t node,
 
 std::uint64_t ContentionMemory::accesses() const {
   return eng_ == nullptr ? 0 : eng_->total_accesses;
+}
+
+void ContentionMemory::collect_metrics(obs::MetricsRegistry& registry) const {
+  if (eng_ == nullptr) return;
+  registry.counter("mem.accesses").add(eng_->total_accesses);
+  std::uint64_t hits = 0, misses = 0;
+  obs::Summary& rate = registry.summary("mem.bank_row_hit_rate");
+  for (const auto& b : eng_->banks) {
+    hits += b.rows.hits();
+    misses += b.rows.misses();
+    const std::uint64_t total = b.rows.hits() + b.rows.misses();
+    if (total > 0) {
+      rate.add(static_cast<double>(b.rows.hits()) / static_cast<double>(total));
+    }
+  }
+  registry.counter("mem.row_hits").add(hits);
+  registry.counter("mem.row_misses").add(misses);
 }
 
 double ContentionMemory::row_hit_rate() const {

@@ -59,6 +59,10 @@ class ContentionMemory final : public MemorySystem {
   /// Row-buffer hit rate over all banks (stats-only open-row model).
   [[nodiscard]] double row_hit_rate() const override;
 
+  /// Publishes access/row-hit counters and the per-bank row-hit-rate
+  /// summary (no-op before the first access binds the engine).
+  void collect_metrics(obs::MetricsRegistry& registry) const override;
+
   [[nodiscard]] std::size_t banks() const { return cfg_.resolved_banks(); }
   [[nodiscard]] std::size_t ports() const { return cfg_.resolved_ports(); }
   [[nodiscard]] const MemoryConfig& config() const { return cfg_; }

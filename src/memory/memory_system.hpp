@@ -103,6 +103,13 @@ class MemorySystem {
   // Stream statistics (banked backend; the analytic model keeps none).
   [[nodiscard]] virtual std::uint64_t accesses() const { return 0; }
   [[nodiscard]] virtual double row_hit_rate() const { return 0.0; }
+
+  /// Publishes end-of-run statistics into a metrics registry (see
+  /// src/obs/metrics.hpp).  Harnesses call this after the run, guarded by
+  /// Simulation::metrics_enabled(); the default backend publishes nothing.
+  virtual void collect_metrics(obs::MetricsRegistry& registry) const {
+    (void)registry;
+  }
 };
 
 /// The paper's model behind the seam: constant latency per access kind,

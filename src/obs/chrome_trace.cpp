@@ -1,0 +1,192 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+namespace pimsim::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+// Canonical bytes for one blob; used to order blobs deterministically.
+std::string serialize(const TraceBlob& blob) {
+  std::string out;
+  for (const std::string& label : blob.labels) {
+    out += label;
+    out.push_back('\0');
+  }
+  for (const des::TraceRecord& rec : blob.records) {
+    std::uint64_t words[4] = {std::bit_cast<std::uint64_t>(rec.time), rec.a, rec.b,
+                              (std::uint64_t{rec.label} << 8U) |
+                                  static_cast<std::uint64_t>(rec.kind)};
+    for (const std::uint64_t w : words) {
+      for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((w >> (8 * i)) & 0xffU));
+    }
+  }
+  return out;
+}
+
+void write_meta(std::ostream& os, bool& first, int pid, std::uint64_t tid,
+                const char* key, const std::string& value) {
+  os << (first ? "\n" : ",\n") << "    {\"name\": \"" << key
+     << "\", \"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
+     << ", \"args\": {\"name\": \"" << json_escape(value) << "\"}}";
+  first = false;
+}
+
+void write_blob(std::ostream& os, bool& first, int pid, const TraceBlob& blob) {
+  write_meta(os, first, pid, 0, "process_name", "sim " + std::to_string(pid));
+  // Thread tracks: 0 is the kernel/component track; async spans carry their
+  // node id in `b`.  std::set iteration is sorted, so metadata order is
+  // deterministic.
+  std::set<std::uint64_t> tids;
+  tids.insert(0);
+  for (const des::TraceRecord& rec : blob.records) {
+    if (rec.kind == des::TraceKind::kAsyncBegin || rec.kind == des::TraceKind::kAsyncEnd) {
+      tids.insert(rec.b);
+    }
+  }
+  for (const std::uint64_t tid : tids) {
+    write_meta(os, first, pid, tid, "thread_name",
+               tid == 0 ? std::string("kernel") : "node " + std::to_string(tid));
+  }
+  for (const des::TraceRecord& rec : blob.records) {
+    const std::string& raw = blob.labels[rec.label];
+    const std::string name = json_escape(raw.empty() ? to_string(rec.kind) : raw);
+    os << ",\n    {\"name\": \"" << name << "\", \"ts\": " << rec.time
+       << ", \"pid\": " << pid;
+    switch (rec.kind) {
+      case des::TraceKind::kAsyncBegin:
+      case des::TraceKind::kAsyncEnd:
+        os << ", \"tid\": " << rec.b << ", \"cat\": \"parcel\", \"ph\": \""
+           << (rec.kind == des::TraceKind::kAsyncBegin ? 'b' : 'e')
+           << "\", \"id\": " << rec.a;
+        break;
+      case des::TraceKind::kCounter:
+        os << ", \"tid\": 0, \"ph\": \"C\", \"args\": {\"value\": " << rec.a << "}";
+        break;
+      default:
+        os << ", \"tid\": 0, \"cat\": \"kernel\", \"ph\": \"i\", \"s\": \"t\", "
+           << "\"args\": {\"kind\": \"" << to_string(rec.kind) << "\", \"a\": " << rec.a
+           << "}";
+        break;
+    }
+    os << "}";
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceBlob>& blobs) {
+  const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
+  // Order blobs by content so pid assignment ignores completion order.
+  std::vector<std::string> keys;
+  keys.reserve(blobs.size());
+  for (const TraceBlob& b : blobs) keys.push_back(serialize(b));
+  std::vector<std::size_t> order(blobs.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  os << "{\n  \"traceEvents\": [";
+  bool first = true;
+  int pid = 0;
+  for (const std::size_t k : order) {
+    ++pid;
+    write_blob(os, first, pid, blobs[k]);
+    records += blobs[k].records.size();
+    dropped += blobs[k].dropped;
+  }
+  os << "\n  ],\n  \"displayTimeUnit\": \"ns\",\n  \"pimsim\": {\"schema\": "
+        "\"pimsim-trace-v1\", \"simulations\": "
+     << blobs.size() << ", \"records\": " << records << ", \"dropped\": " << dropped
+     << "}\n}\n";
+  os.precision(old_precision);
+}
+
+// ---------------------------------------------------------------------------
+// TraceHub
+
+struct TraceHub::Impl {
+  mutable std::mutex mutex;
+  std::vector<TraceBlob> blobs;
+};
+
+TraceHub::Impl& TraceHub::impl() {
+  // lint:allow(mutable-static): process-scoped by design, mutex-serialized
+  static Impl instance;
+  return instance;
+}
+
+TraceHub& TraceHub::global() {
+  // lint:allow(mutable-static): stateless handle to the Impl singleton above
+  static TraceHub hub;
+  return hub;
+}
+
+void TraceHub::absorb(const des::Tracer& tracer) {
+  TraceBlob blob{tracer.labels(), tracer.records(), tracer.dropped()};
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  i.blobs.push_back(std::move(blob));
+}
+
+std::uint64_t TraceHub::simulations() const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  return i.blobs.size();
+}
+
+std::uint64_t TraceHub::records() const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  std::uint64_t n = 0;
+  for (const TraceBlob& b : i.blobs) n += b.records.size();
+  return n;
+}
+
+std::uint64_t TraceHub::dropped() const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  std::uint64_t n = 0;
+  for (const TraceBlob& b : i.blobs) n += b.dropped;
+  return n;
+}
+
+void TraceHub::write_json(std::ostream& os) const {
+  std::vector<TraceBlob> blobs;
+  {
+    Impl& i = impl();
+    const std::lock_guard<std::mutex> lock(i.mutex);
+    blobs = i.blobs;
+  }
+  write_chrome_trace(os, blobs);
+}
+
+void TraceHub::reset() {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mutex);
+  i.blobs.clear();
+}
+
+}  // namespace pimsim::obs

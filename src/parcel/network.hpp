@@ -24,6 +24,10 @@ namespace pimsim::des {
 class Simulation;
 }  // namespace pimsim::des
 
+namespace pimsim::obs {
+class MetricsRegistry;
+}  // namespace pimsim::obs
+
 namespace pimsim::parcel {
 
 /// Latency model between PIM nodes.
@@ -54,6 +58,13 @@ class Interconnect {
   /// processes for hangs (ParcelMachine::run) discount these.  Analytic
   /// models spawn nothing.
   [[nodiscard]] virtual std::size_t idle_processes() const { return 0; }
+
+  /// Publishes end-of-run statistics into a metrics registry (see
+  /// src/obs/metrics.hpp).  Harnesses call this after the run, guarded by
+  /// Simulation::metrics_enabled(); analytic models publish nothing.
+  virtual void collect_metrics(obs::MetricsRegistry& registry) const {
+    (void)registry;
+  }
 };
 
 /// Mean hop count of topology `kind` over independent uniform (src, dst)

@@ -1,6 +1,7 @@
 #include "parcel/runtime.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pimsim::parcel {
 
@@ -24,6 +25,11 @@ ParcelMachine::ParcelMachine(des::Simulation& sim, std::size_t nodes,
     nodes_.push_back(std::make_unique<Node>(sim, static_cast<std::uint32_t>(i)));
     sim_.spawn(engine(*nodes_.back(), static_cast<NodeId>(i)));
   }
+  if (sim_.metrics_enabled()) {
+    m_rtt_ = &sim_.metrics().summary("parcel.request_rtt_cycles");
+    m_requests_ = &sim_.metrics().counter("parcel.requests");
+  }
+  if (sim_.tracing_enabled()) lbl_request_ = sim_.trace_label("parcel.request");
 }
 
 RequestHandle ParcelMachine::request(NodeId src, Parcel parcel) {
@@ -33,6 +39,11 @@ RequestHandle ParcelMachine::request(NodeId src, Parcel parcel) {
   const std::uint64_t context = next_context_++;
   parcel.src = src;
   parcel.continuation = Continuation{src, context};
+  state->issued_at = sim_.now();
+  if (m_requests_ != nullptr) m_requests_->add();
+  if (sim_.tracing_enabled()) {
+    sim_.trace(des::TraceKind::kAsyncBegin, lbl_request_, context, src);
+  }
   pending_.emplace(context, state);
   ship(std::move(parcel));
   return RequestHandle(std::move(state));
@@ -64,6 +75,23 @@ std::uint64_t ParcelMachine::total_bytes_on_wire() const {
   return total;
 }
 
+void ParcelMachine::collect_metrics(obs::MetricsRegistry& registry) const {
+  std::uint64_t executed = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const auto& n : nodes_) {
+    executed += n->stats.parcels_executed;
+    replies += n->stats.replies_returned;
+    sent += n->stats.bytes_sent;
+    received += n->stats.bytes_received;
+  }
+  registry.counter("parcel.executed").add(executed);
+  registry.counter("parcel.replies").add(replies);
+  registry.counter("parcel.bytes_sent").add(sent);
+  registry.counter("parcel.bytes_received").add(received);
+}
+
 void ParcelMachine::ship(Parcel parcel) {
   auto bytes = serialize(parcel);
   const std::size_t wire_bytes = bytes.size();
@@ -87,6 +115,11 @@ des::Process ParcelMachine::engine(Node& node, NodeId id) {
       if (it != pending_.end()) {
         it->second->done = true;
         if (!parcel.operands.empty()) it->second->value = parcel.operands[0];
+        if (m_rtt_ != nullptr) m_rtt_->add(sim_.now() - it->second->issued_at);
+        if (sim_.tracing_enabled()) {
+          sim_.trace(des::TraceKind::kAsyncEnd, lbl_request_,
+                     parcel.continuation.context, id);
+        }
         it->second->trigger.fire();
         pending_.erase(it);
       }
@@ -124,6 +157,12 @@ des::Process ParcelMachine::engine(Node& node, NodeId id) {
 
 void ParcelMachine::run(std::size_t extra_idle_processes) {
   sim_.run();
+  if (sim_.metrics_enabled()) {
+    obs::MetricsRegistry& registry = sim_.metrics();
+    collect_metrics(registry);
+    net_.collect_metrics(registry);
+    if (memory_ != nullptr) memory_->collect_metrics(registry);
+  }
   if (!pending_.empty()) {
     throw LogicError("ParcelMachine::run: simulation went idle with " +
                      std::to_string(pending_.size()) +

@@ -34,6 +34,11 @@
 #include "parcel/network.hpp"
 #include "parcel/parcel.hpp"
 
+namespace pimsim::obs {
+class Counter;
+class Summary;
+}  // namespace pimsim::obs
+
 namespace pimsim::parcel {
 
 /// Cost model of one node's parcel engine.
@@ -72,6 +77,7 @@ class RequestHandle {
     des::Trigger trigger;
     bool done = false;
     std::optional<std::uint64_t> value;
+    SimTime issued_at = 0.0;  ///< issue timestamp for the RTT summary
   };
   explicit RequestHandle(std::shared_ptr<State> state)
       : state_(std::move(state)) {}
@@ -125,6 +131,11 @@ class ParcelMachine {
   [[nodiscard]] const RuntimeNodeStats& node_stats(NodeId node) const;
   [[nodiscard]] std::uint64_t total_bytes_on_wire() const;
 
+  /// Publishes machine-wide runtime statistics (parcels executed, replies,
+  /// wire bytes) into a metrics registry.  Harnesses call this after the
+  /// run, guarded by Simulation::metrics_enabled().
+  void collect_metrics(obs::MetricsRegistry& registry) const;
+
   /// Home node of a (sharded) virtual address: low bits select the node.
   [[nodiscard]] NodeId home_of(std::uint64_t vaddr) const {
     return static_cast<NodeId>((vaddr / 8) % nodes_.size());
@@ -149,6 +160,11 @@ class ParcelMachine {
   const mem::MemorySystem* memory_;  ///< nullptr: flat memory_access cost
   ActionRegistry registry_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Observability hooks, bound at construction iff the respective layer
+  // is on (null / zero-label otherwise; see src/obs/).
+  obs::Summary* m_rtt_ = nullptr;      ///< request round-trip summary
+  obs::Counter* m_requests_ = nullptr; ///< request() issue counter
+  des::LabelId lbl_request_ = 0;       ///< async-span label, 0 = untraced
   // Outstanding requests keyed by continuation context id.
   std::uint64_t next_context_ = 1;
   // lint:allow(unordered-container): context-id lookup on reply, never iterated

@@ -10,6 +10,7 @@
 #include "des/simulation.hpp"
 #include "interconnect/contention.hpp"
 #include "memory/memory_system.hpp"
+#include "obs/metrics.hpp"
 
 namespace pimsim::parcel {
 
@@ -137,6 +138,10 @@ class MessagePassingSystem {
       nodes_.push_back(std::make_unique<ControlNode>(
           sim_, static_cast<NodeId>(i), root.split(i)));
     }
+    if (sim_.metrics_enabled()) {
+      m_rtt_ = &sim_.metrics().summary("msg.request_rtt_cycles");
+    }
+    if (sim_.tracing_enabled()) lbl_request_ = sim_.trace_label("msg.request");
   }
 
   SystemRunResult run() {
@@ -145,6 +150,10 @@ class MessagePassingSystem {
       sim_.spawn(request_server(*node));
     }
     sim_.run_until(p_.horizon);
+    if (sim_.metrics_enabled()) {
+      net_.collect_metrics(sim_.metrics());
+      if (mem_ != nullptr) mem_->collect_metrics(sim_.metrics());
+    }
 
     SystemRunResult out;
     out.horizon = p_.horizon;
@@ -176,9 +185,17 @@ class MessagePassingSystem {
         ++n.stats.remote_requests;
         const NodeId target = pick_target(n.rng, n.id, p_.nodes);
         des::Trigger reply(sim_);
+        const std::uint64_t span = next_span_++;
+        if (sim_.tracing_enabled()) {
+          sim_.trace(des::TraceKind::kAsyncBegin, lbl_request_, span, n.id);
+        }
         deliver(n.id, target, SimMessage{n.id, &reply});
         const SimTime blocked_at = sim_.now();
         co_await reply.wait();
+        if (m_rtt_ != nullptr) m_rtt_->add(sim_.now() - blocked_at);
+        if (sim_.tracing_enabled()) {
+          sim_.trace(des::TraceKind::kAsyncEnd, lbl_request_, span, n.id);
+        }
         n.stats.idle_cycles += sim_.now() - blocked_at;
       } else {
         // Local access: the processor is in the memory-access state for
@@ -238,6 +255,10 @@ class MessagePassingSystem {
   const mem::MemorySystem* mem_;  ///< nullptr: analytic constant path
   des::Simulation sim_;
   std::vector<std::unique_ptr<ControlNode>> nodes_;
+  // Observability hooks, bound at construction iff the layer is on.
+  obs::Summary* m_rtt_ = nullptr;
+  des::LabelId lbl_request_ = 0;
+  std::uint64_t next_span_ = 1;  ///< async-span ids for request lifecycles
 };
 
 // ---------------------------------------------------------------------
@@ -273,6 +294,12 @@ class SplitTransactionSystem {
       nodes_.push_back(std::make_unique<TestNode>(
           sim_, static_cast<NodeId>(i), root.split(i)));
     }
+    if (sim_.metrics_enabled()) {
+      m_rtt_ = &sim_.metrics().summary("parcel.request_rtt_cycles");
+    }
+    if (sim_.tracing_enabled()) {
+      lbl_request_ = sim_.trace_label("parcel.request");
+    }
   }
 
   SystemRunResult run() {
@@ -283,6 +310,10 @@ class SplitTransactionSystem {
       sim_.spawn(dispatcher(*node));
     }
     sim_.run_until(p_.horizon);
+    if (sim_.metrics_enabled()) {
+      net_.collect_metrics(sim_.metrics());
+      if (mem_ != nullptr) mem_->collect_metrics(sim_.metrics());
+    }
 
     SystemRunResult out;
     out.horizon = p_.horizon;
@@ -326,9 +357,18 @@ class SplitTransactionSystem {
           ++n.stats.remote_requests;
           const NodeId target = pick_target(rng, n.id, p_.nodes);
           des::Trigger reply(sim_);
+          const std::uint64_t span = next_span_++;
+          if (sim_.tracing_enabled()) {
+            sim_.trace(des::TraceKind::kAsyncBegin, lbl_request_, span, n.id);
+          }
+          const SimTime issued_at = sim_.now();
           deliver(n.id, target, SimMessage{n.id, &reply});
           n.cpu.release();  // split transaction: don't hold the processor
           co_await reply.wait();
+          if (m_rtt_ != nullptr) m_rtt_->add(sim_.now() - issued_at);
+          if (sim_.tracing_enabled()) {
+            sim_.trace(des::TraceKind::kAsyncEnd, lbl_request_, span, n.id);
+          }
           running = false;  // loop around to re-acquire (pays the switch)
         } else if (mem_ != nullptr) {
           // Banked memory: the context holds the processor while the
@@ -392,6 +432,10 @@ class SplitTransactionSystem {
   const mem::MemorySystem* mem_;  ///< nullptr: analytic constant path
   des::Simulation sim_;
   std::vector<std::unique_ptr<TestNode>> nodes_;
+  // Observability hooks, bound at construction iff the layer is on.
+  obs::Summary* m_rtt_ = nullptr;
+  des::LabelId lbl_request_ = 0;
+  std::uint64_t next_span_ = 1;  ///< async-span ids for request lifecycles
 };
 
 std::unique_ptr<Interconnect> default_net(const SplitTransactionParams& p) {

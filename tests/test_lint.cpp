@@ -132,6 +132,77 @@ TEST(LintRules, UnorderedIterationFires) {
           .empty());
 }
 
+// --- unguarded-trace -----------------------------------------------------
+
+TEST(LintRules, UnguardedTraceFires) {
+  // A member .trace(...) call with no tracing_enabled() guard nearby.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/x.cpp",
+                  "void f(Sim& sim) { sim.trace(TraceKind::kCounter, lbl); }\n"),
+      "unguarded-trace"));
+  // Same for a .metrics() registry access without metrics_enabled().
+  EXPECT_TRUE(has_rule(
+      lint_source("src/x.cpp",
+                  "void g(Sim& sim) { sim.metrics().counter(\"n\").add(1); }\n"),
+      "unguarded-trace"));
+  // Arrow calls count too.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/x.cpp",
+                  "void h(Sim* sim) { sim->trace(TraceKind::kInstant, lbl); }\n"),
+      "unguarded-trace"));
+}
+
+TEST(LintRules, GuardedTraceIsFine) {
+  // Guard on the same line.
+  EXPECT_TRUE(
+      lint_source("src/x.cpp",
+                  "void f(Sim& s) { if (s.tracing_enabled()) s.trace(k, l); }\n")
+          .empty());
+  // Guard up to two lines above (the early-return helper shape).
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "void g(Sim& s) {\n"
+                          "  if (!s.tracing_enabled()) return;\n"
+                          "  s.trace(k, l);\n"
+                          "}\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "void h(Sim& s) {\n"
+                          "  if (s.metrics_enabled()) {\n"
+                          "    auto& reg = s.metrics();\n"
+                          "    reg.counter(\"n\").add(1);\n"
+                          "  }\n"
+                          "}\n")
+                  .empty());
+  // A guard three lines up is out of the window.
+  EXPECT_TRUE(has_rule(lint_source("src/x.cpp",
+                                   "void i(Sim& s) {\n"
+                                   "  if (s.tracing_enabled()) {\n"
+                                   "    int a = 0;\n"
+                                   "    int b = a;\n"
+                                   "    s.trace(k, b);\n"
+                                   "  }\n"
+                                   "}\n"),
+                       "unguarded-trace"));
+}
+
+TEST(LintRules, UnguardedTraceScopeAndExemptions) {
+  const std::string body =
+      "void f(Sim& sim) { sim.trace(TraceKind::kCounter, lbl); }\n";
+  // Outside src/ (tests, tools) the rule is silent.
+  EXPECT_TRUE(lint_source("tests/x.cpp", body).empty());
+  // The observability layer and the Tracer implementation are exempt.
+  EXPECT_TRUE(lint_source("src/obs/metrics.cpp", body).empty());
+  EXPECT_TRUE(lint_source("src/des/trace.cpp", body).empty());
+  // Non-member uses of the bare words are not flagged.
+  EXPECT_TRUE(
+      lint_source("src/x.cpp", "void trace(int x);\nvoid g() { trace(1); }\n")
+          .empty());
+  // trace_label()/collect_metrics() are different tokens entirely.
+  EXPECT_TRUE(lint_source("src/x.cpp",
+                          "void g(Sim& s) { auto l = s.trace_label(\"n\"); }\n")
+                  .empty());
+}
+
 // --- suppressions --------------------------------------------------------
 
 TEST(LintSuppressions, AllowOnSameLineOrLineAboveSilences) {
@@ -198,9 +269,10 @@ TEST(LintOutput, FindingsAreLineSortedAndRenderable) {
 
 TEST(LintOutput, RuleIdsAreStable) {
   const auto& ids = rule_ids();
-  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids.size(), 7u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "unordered-iter"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "bad-allow"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "unguarded-trace"), ids.end());
 }
 
 }  // namespace

@@ -155,7 +155,7 @@ TEST(Simulation, TracerCallbackMode) {
 }
 
 TEST(TraceKind, AllKindsHaveNames) {
-  for (int k = 0; k <= static_cast<int>(TraceKind::kMailboxReceive); ++k) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kInstant); ++k) {
     EXPECT_STRNE(to_string(static_cast<TraceKind>(k)), "unknown");
   }
 }
