@@ -40,6 +40,17 @@ void RunningStats::merge(const RunningStats& other) {
 
 void RunningStats::reset() { *this = RunningStats{}; }
 
+RunningStats RunningStats::restore(std::size_t n, double mean, double m2,
+                                   double min, double max) {
+  RunningStats out;
+  out.n_ = n;
+  out.mean_ = mean;
+  out.m2_ = m2;
+  out.min_ = min;
+  out.max_ = max;
+  return out;
+}
+
 double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {

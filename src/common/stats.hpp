@@ -29,6 +29,16 @@ class RunningStats {
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
 
+  /// Raw Welford M2 accumulator (sum of squared deviations).  Exposed so
+  /// metric snapshots can round-trip the accumulator bitwise across
+  /// processes (obs/metrics chunk sidecars); variance() is derived state.
+  [[nodiscard]] double m2() const { return m2_; }
+  /// Reconstitutes an accumulator from its exact internal state.  The
+  /// result merges and reports identically — bit for bit — to the
+  /// original, which is what makes cross-process metric refolds safe.
+  [[nodiscard]] static RunningStats restore(std::size_t n, double mean,
+                                            double m2, double min, double max);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

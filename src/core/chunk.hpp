@@ -1,0 +1,90 @@
+// Self-describing result chunks for the sharded sweep fabric.
+//
+// `pimsim sweep ... shard=i/N out=DIR` runs one deterministic shard of a
+// declarative grid and writes a chunk — the shard's rendered per-point
+// blocks (CSV/text/JSON, byte-identical to the unsharded output) plus a
+// JSON sidecar (schema "pimsim-chunk-v1": grid fingerprint, per-point
+// FNV-1a fingerprints, the shard's per-simulation obs::MetricsHub
+// snapshots, wall time) and an idempotent `manifest.json` describing the
+// whole grid ("pimsim-manifest-v1").  `pimsim merge DIR` validates every
+// chunk against the manifest — missing, duplicate, corrupted, and
+// divergent-fingerprint chunks are detected, not merged — and emits the
+// merged table byte-identical to an unsharded run.  Because every point
+// is bitwise deterministic (PRs 1/6), a complete, fingerprint-valid
+// chunk is a cache: rerunning its shard is a no-op skip, so a killed
+// multi-hour sweep restarts in seconds.  See docs/SWEEPS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimsim::core {
+
+/// One sweep point's rendered output inside a chunk.
+struct ChunkPoint {
+  std::size_t point = 0;          ///< global grid index
+  std::string assignment;         ///< swept-axis "k=v ..." summary (may be empty)
+  std::string block;              ///< rendered bytes: "# header\n" + table
+  std::uint64_t fingerprint = 0;  ///< FNV-1a 64 of `block`
+};
+
+/// Grid identity shared by the manifest and every chunk of one sweep.
+struct GridSpec {
+  std::string scenario;
+  std::string format;                    ///< "text" | "csv" | "json"
+  std::size_t shards = 1;
+  std::uint64_t grid_fingerprint = 0;    ///< FNV-1a of the canonical grid text
+  std::vector<std::string> assignments;  ///< per point, in grid order
+  std::vector<std::size_t> shard_of;     ///< planned shard per point
+};
+
+/// A chunk read back from disk (sidecar + rendered blocks, validated).
+struct ChunkData {
+  std::size_t shard = 0;
+  double wall_seconds = 0.0;
+  std::vector<ChunkPoint> points;        ///< in grid order
+  std::vector<std::string> metrics;      ///< per-simulation snapshot bytes
+};
+
+/// "chunk-<i>-of-<N>" — basename of a chunk's .csv/.json pair.
+[[nodiscard]] std::string chunk_basename(std::size_t shard, std::size_t shards);
+
+/// Creates `dir` if needed and writes (or re-validates) `manifest.json`.
+/// The manifest bytes are a pure function of the grid, so concurrent
+/// shard processes write identical files; a directory already holding a
+/// *different* sweep's manifest throws InvalidArgument instead of mixing
+/// two grids' chunks.
+void write_or_check_manifest(const std::string& dir, const GridSpec& grid);
+
+/// Writes `chunk_basename(shard).{csv,json}` atomically (tmp + rename).
+/// `points` must be this shard's points in grid order with blocks and
+/// fingerprints filled in; `metrics` is the shard's snapshot_bytes().
+void write_chunk(const std::string& dir, const GridSpec& grid,
+                 std::size_t shard, const std::vector<ChunkPoint>& points,
+                 const std::vector<std::string>& metrics, double wall_seconds);
+
+/// True when the shard's chunk exists and validates against `grid`
+/// (sidecar parses, grid fingerprint and planned point set match, every
+/// block's bytes match its recorded fingerprint) — the resume check.
+[[nodiscard]] bool chunk_complete(const std::string& dir, const GridSpec& grid,
+                                  std::size_t shard);
+
+/// Reads manifest.json back into a GridSpec (shard_of per point, no
+/// weights needed).  Throws InvalidArgument when missing or malformed.
+[[nodiscard]] GridSpec read_manifest(const std::string& dir);
+
+/// Reads and fully validates one chunk against `grid`.  Throws
+/// InvalidArgument naming the file and the defect (missing, truncated,
+/// grid mismatch, wrong point set, fingerprint divergence).
+[[nodiscard]] ChunkData read_chunk(const std::string& dir,
+                                   const GridSpec& grid, std::size_t shard);
+
+/// Shard ids of the well-formed chunk sidecars present in `dir`.  A file
+/// named chunk-* that does not parse as chunk-<i>-of-<N>.{csv,json} with
+/// N == grid.shards and i < N throws InvalidArgument (unknown chunk-dir
+/// contents are rejected, not skipped); other filenames are ignored.
+[[nodiscard]] std::vector<std::size_t> chunks_present(const std::string& dir,
+                                                      const GridSpec& grid);
+
+}  // namespace pimsim::core

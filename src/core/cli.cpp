@@ -15,6 +15,7 @@
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "core/chunk.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "des/audit.hpp"
@@ -51,7 +52,7 @@ usage:
 
   pimsim sweep <scenario> config=FILE [key=value ...] [jobs=N]
                 [format=text|csv|json] [out=PATH] [metrics=PATH]
-                [profile=1]
+                [profile=1] [shard=i/N]
       Runs a declarative parameter grid.  FILE holds key=value lines
       ('#' comments); a comma-separated value for a *scalar* parameter
       declares a grid axis (list-typed parameters pass through
@@ -63,6 +64,23 @@ usage:
       metrics registries of every point into one dump (deterministic
       regardless of jobs=N); profile=1 prints the pooled dispatch
       profile on stderr.
+      shard=i/N runs only shard i of a deterministic N-way partition
+      of the grid (heaviest points spread first) and requires out=DIR:
+      the shard writes a self-describing chunk (rendered blocks +
+      "pimsim-chunk-v1" JSON sidecar with per-point fingerprints and
+      metrics snapshots) plus an idempotent manifest.json into DIR.
+      Rerunning a shard whose valid chunk already exists is a no-op
+      skip, so a killed sweep resumes from its surviving chunks.  See
+      docs/SWEEPS.md and tools/pimsim_sweep_all.sh.
+
+  pimsim merge <DIR> [out=PATH] [metrics=PATH]
+      Validates and merges the chunks of a sharded sweep: every chunk
+      sidecar must match DIR's manifest (grid fingerprint, planned
+      point set, per-point block fingerprints); missing, duplicate,
+      corrupted, and divergent chunks are reported, not merged.  Emits
+      the merged table byte-identical to the unsharded `pimsim sweep`
+      output, and with metrics=PATH refolds every shard's metrics
+      snapshots into the same dump the unsharded run would write.
 
   pimsim verify <scenario>|all [strict=1] [audit=1]
       Re-checks golden figure outputs on the scenario's reduced verify
@@ -407,6 +425,123 @@ std::vector<SweepPoint> expand_grid(const Scenario& scenario,
   return points;
 }
 
+/// One sweep point's output block, exactly as the unsharded sweep prints
+/// it: "# <scenario> <assignment>\n" + the rendered table.  Sharded
+/// chunks store these blocks verbatim, which is what makes the merged
+/// file byte-identical to an unsharded run.
+std::string render_block(const Scenario& scenario, const SweepPoint& point,
+                         const Table& table, const std::string& format) {
+  std::ostringstream os;
+  os << "# " << scenario.name
+     << (point.assignment.empty() ? "" : " " + point.assignment) << "\n";
+  render(os, table, format);
+  return os.str();
+}
+
+/// Grid identity + deterministic shard plan for a sharded sweep.  The
+/// fingerprint canonicalizes everything that decides the merged bytes
+/// (scenario, format, merged parameters, per-point assignments) but NOT
+/// the shard count, so chunks from different N-way partitions of the
+/// same grid are recognized as the same sweep by fingerprint even
+/// though the manifest pins one N.
+GridSpec build_grid(const Scenario& scenario, const Config& merged,
+                    const std::vector<std::string>& key_order,
+                    const std::vector<SweepPoint>& points,
+                    const ShardSpec& shard, const std::string& format) {
+  GridSpec grid;
+  grid.scenario = scenario.name;
+  grid.format = format;
+  grid.shards = shard.count;
+
+  std::string canonical = "pimsim-grid-v1\n" + scenario.name + "\n" + format + "\n";
+  for (const std::string& key : key_order) {
+    canonical += key + "=" + merged.get_string(key, "") + "\n";
+  }
+  grid.assignments.reserve(points.size());
+  std::vector<double> weights;
+  weights.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    grid.assignments.push_back(point.assignment);
+    canonical += point.assignment + "\n";
+    double w = 1.0;
+    if (scenario.cost_hint) {
+      try {
+        w = scenario.cost_hint(point.cfg);
+      } catch (const std::exception&) {
+        w = 1.0;  // a hint must never be able to fail a sweep
+      }
+    }
+    weights.push_back(w);
+  }
+  grid.grid_fingerprint = data_fingerprint(canonical);
+  grid.shard_of = plan_shards(weights, shard.count);
+  return grid;
+}
+
+/// `pimsim sweep ... shard=i/N out=DIR`: computes shard i's points and
+/// writes the chunk, or skips when a valid chunk already exists (resume).
+int run_shard(const Scenario& scenario, const Config& cli,
+              const Config& merged, const std::vector<std::string>& key_order,
+              const std::vector<SweepPoint>& points, const ShardSpec& shard,
+              std::size_t jobs, const std::string& format,
+              const std::string& metrics_path, bool profile) {
+  const std::string dir = cli.get_string("out", "");
+  require(!dir.empty(),
+          "pimsim sweep: shard=i/N requires out=DIR (the chunk directory "
+          "shared by every shard of the sweep)");
+  const GridSpec grid = build_grid(scenario, merged, key_order, points, shard, format);
+  write_or_check_manifest(dir, grid);
+
+  if (chunk_complete(dir, grid, shard.index)) {
+    std::cerr << "# shard " << shard.index << "/" << shard.count
+              << ": valid chunk already in '" << dir
+              << "', skipping (delete its files to recompute)\n";
+    return 0;
+  }
+
+  std::vector<std::size_t> mine;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (grid.shard_of[i] == shard.index) mine.push_back(i);
+  }
+
+  // Metrics are always collected in shard mode: the sidecar carries the
+  // per-simulation snapshots so `pimsim merge` can refold them exactly
+  // as the unsharded run would have.
+  enable_metrics();
+  if (profile) enable_profile();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<Table>> tables(mine.size());
+  SweepRunner runner(jobs);
+  runner.for_each(mine.size(), [&](std::size_t i) {
+    tables[i] = std::make_unique<Table>(
+        run_scenario(scenario, points[mine[i]].cfg, {"csv", "format", "out"}));
+  });
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  std::vector<ChunkPoint> chunk_points;
+  chunk_points.reserve(mine.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    ChunkPoint p;
+    p.point = mine[i];
+    p.assignment = points[mine[i]].assignment;
+    p.block = render_block(scenario, points[mine[i]], *tables[i], format);
+    p.fingerprint = data_fingerprint(p.block);
+    chunk_points.push_back(std::move(p));
+  }
+  write_chunk(dir, grid, shard.index, chunk_points,
+              obs::MetricsHub::global().snapshot_bytes(), elapsed);
+  if (!metrics_path.empty()) write_metrics_file(metrics_path);
+  if (profile) report_profile(std::cerr);
+  std::cerr << "# shard " << shard.index << "/" << shard.count << ": swept "
+            << mine.size() << " of " << points.size() << " point(s) on "
+            << runner.threads() << " thread(s) in " << elapsed << " s -> "
+            << dir << "/" << chunk_basename(shard.index, shard.count)
+            << ".{csv,json}\n";
+  return 0;
+}
+
 int cmd_sweep(const std::vector<std::string>& args) {
   require(!args.empty(), "pimsim sweep: missing scenario name");
   const Scenario& scenario = ScenarioRegistry::global().get(args[0]);
@@ -427,8 +562,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
   Config merged = Config::from_string(text);
   // Driver keys in the file would be silently shadowed by the CLI's
   // (format) or mistaken for scenario parameters (jobs) — reject loudly.
-  for (const char* driver :
-       {"config", "jobs", "format", "out", "csv", "metrics", "profile"}) {
+  for (const char* driver : {"config", "jobs", "format", "out", "csv",
+                             "metrics", "profile", "shard"}) {
     require(!merged.has(driver),
             std::string("pimsim sweep: driver key '") + driver +
                 "' belongs on the command line, not in config file '" +
@@ -458,7 +593,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
     if (eq == std::string::npos) continue;
     const std::string key = token.substr(0, eq);
     if (key == "config" || key == "jobs" || key == "format" || key == "out" ||
-        key == "csv" || key == "metrics" || key == "profile") {
+        key == "csv" || key == "metrics" || key == "profile" ||
+        key == "shard") {
       continue;
     }
     merged.set(key, cli.get_string(key, ""));
@@ -469,11 +605,18 @@ int cmd_sweep(const std::vector<std::string>& args) {
   const std::string format = format_of(cli);
   const std::string metrics_path = cli.get_string("metrics", "");
   const bool profile = cli.get_bool("profile", false);
-  preflight_out(cli);
+  const std::string shard_text = cli.get_string("shard", "");
+  if (shard_text.empty()) preflight_out(cli);  // sharded: out= is a directory
 
   const std::vector<SweepPoint> points =
       expand_grid(scenario, merged, key_order, /*pin_inner_threads=*/true);
   require(!points.empty(), "pimsim sweep: empty parameter grid");
+
+  if (!shard_text.empty()) {
+    return run_shard(scenario, cli, merged, key_order, points,
+                     parse_shard(shard_text), jobs, format, metrics_path,
+                     profile);
+  }
 
   // Aggregation across sweep points is deterministic regardless of
   // jobs=N: the hub folds snapshots in content order, not arrival order.
@@ -495,15 +638,69 @@ int cmd_sweep(const std::vector<std::string>& args) {
   const auto out = open_out(cli);
   std::ostream& os = out ? *out : std::cout;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    os << "# " << scenario.name
-       << (points[i].assignment.empty() ? "" : " " + points[i].assignment)
-       << "\n";
-    render(os, *tables[i], format);
+    os << render_block(scenario, points[i], *tables[i], format);
   }
   if (!metrics_path.empty()) write_metrics_file(metrics_path);
   if (profile) report_profile(std::cerr);
   std::cerr << "# swept " << points.size() << " point(s) on "
             << runner.threads() << " thread(s) in " << elapsed << " s\n";
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  require(!args.empty(),
+          "pimsim merge: missing chunk directory (pimsim merge DIR "
+          "[out=PATH] [metrics=PATH])");
+  const std::string dir = args[0];
+  const Config cfg = config_from_tokens({args.begin() + 1, args.end()});
+  const std::string metrics_path = cfg.get_string("metrics", "");
+  (void)cfg.get_string("out", "");
+  cfg.reject_unused();
+
+  const GridSpec grid = read_manifest(dir);
+  const std::vector<std::size_t> present = chunks_present(dir, grid);
+  std::vector<bool> have(grid.shards, false);
+  for (const std::size_t id : present) {
+    require(!have[id], "pimsim merge: duplicate chunk sidecar for shard " +
+                           std::to_string(id) + " in '" + dir + "'");
+    have[id] = true;
+  }
+  std::string missing;
+  for (std::size_t s = 0; s < grid.shards; ++s) {
+    if (!have[s]) missing += (missing.empty() ? "" : ", ") + std::to_string(s);
+  }
+  if (!missing.empty()) {
+    throw InvalidArgument(
+        "pimsim merge: '" + dir + "' is missing chunk(s) for shard(s) " +
+        missing + " of " + std::to_string(grid.shards) +
+        "; rerun `pimsim sweep " + grid.scenario +
+        " ... shard=<i>/" + std::to_string(grid.shards) + " out=" + dir + "`");
+  }
+
+  // Every chunk validates against the manifest (read_chunk checks the
+  // grid fingerprint, the planned point set, and every block's recorded
+  // fingerprint), so after this loop `blocks` holds the full grid.
+  if (!metrics_path.empty()) obs::MetricsHub::global().reset();
+  std::vector<std::string> blocks(grid.assignments.size());
+  double shard_wall = 0.0;
+  for (std::size_t s = 0; s < grid.shards; ++s) {
+    const ChunkData data = read_chunk(dir, grid, s);
+    shard_wall += data.wall_seconds;
+    for (const ChunkPoint& p : data.points) blocks[p.point] = p.block;
+    if (!metrics_path.empty()) {
+      for (const std::string& snapshot : data.metrics) {
+        obs::MetricsHub::global().absorb_bytes(snapshot);
+      }
+    }
+  }
+
+  const auto out = open_out(cfg);
+  std::ostream& os = out ? *out : std::cout;
+  for (const std::string& block : blocks) os << block;
+  if (!metrics_path.empty()) write_metrics_file(metrics_path);
+  std::cerr << "# merged " << grid.shards << " chunk(s), "
+            << grid.assignments.size() << " point(s), shard wall time "
+            << shard_wall << " s\n";
   return 0;
 }
 
@@ -639,10 +836,11 @@ int cli_main(int argc, char** argv) {
     if (command == "list") return cmd_list(rest);
     if (command == "run") return cmd_run(rest);
     if (command == "sweep") return cmd_sweep(rest);
+    if (command == "merge") return cmd_merge(rest);
     if (command == "verify") return cmd_verify(rest);
     throw InvalidArgument(
         "pimsim: unknown command '" + command +
-        "'; valid commands: list, run, sweep, verify, help");
+        "'; valid commands: list, run, sweep, merge, verify, help");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -4,6 +4,9 @@
 //   pimsim list [names|json]          scenario inventory with parameter docs
 //   pimsim run <scenario> [k=v ...]   one scenario, text/CSV/JSON to a path
 //   pimsim sweep <scenario> config=f  declarative grid through SweepRunner
+//                                     (shard=i/N out=DIR writes one chunk)
+//   pimsim merge <dir>                validate + merge a sharded sweep's
+//                                     chunks, byte-identical to unsharded
 //   pimsim verify <scenario>|all      determinism + golden-output recheck
 //   pimsim help [scenario]            usage / one scenario's parameter docs
 #pragma once

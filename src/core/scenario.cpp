@@ -359,6 +359,17 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       },
       /*verify_params=*/"maxnodes=8 ops=200000 batch=10000 reps=2",
       /*verify_fingerprint=*/0xdf64ebc932656617ull,
+      // Events scale with batches per run x node-axis length x reps.
+      /*cost_hint=*/
+      [](const Config& cfg) {
+        const double ops = static_cast<double>(cfg.get_int("ops", 100'000'000));
+        const double batch =
+            std::max(1.0, static_cast<double>(cfg.get_int("batch", 1'000'000)));
+        const double reps = static_cast<double>(cfg.get_int("reps", 3));
+        const double axis =
+            std::log2(static_cast<double>(cfg.get_int("maxnodes", 256))) + 1.0;
+        return reps * axis * ops / batch;
+      },
   });
 
   registry.add(Scenario{
@@ -386,6 +397,16 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       },
       /*verify_params=*/"maxnodes=8 ops=200000 batch=10000 reps=1",
       /*verify_fingerprint=*/0xcfcc608e61d7733eull,
+      /*cost_hint=*/
+      [](const Config& cfg) {
+        const double ops = static_cast<double>(cfg.get_int("ops", 100'000'000));
+        const double batch =
+            std::max(1.0, static_cast<double>(cfg.get_int("batch", 1'000'000)));
+        const double reps = static_cast<double>(cfg.get_int("reps", 3));
+        const double axis =
+            std::log2(static_cast<double>(cfg.get_int("maxnodes", 64))) + 1.0;
+        return reps * axis * ops / batch;
+      },
   });
 
   registry.add(Scenario{
@@ -501,6 +522,21 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       /*verify_params=*/
       "nodes=4 horizon=8000 latencies=20,200 remotes=0.1 pars=1,8",
       /*verify_fingerprint=*/0x72c2d836c92500d3ull,
+      // Event count ~ horizon x grid cells x total parcel contexts; the
+      // packet-level network multiplies per-parcel event volume.
+      /*cost_hint=*/
+      [](const Config& cfg) {
+        const double horizon = cfg.get_double("horizon", 30'000.0);
+        const double nodes = static_cast<double>(cfg.get_int("nodes", 8));
+        const auto lat =
+            cfg.get_list("latencies", {10, 50, 100, 200, 500, 1000, 2000});
+        const auto rem = cfg.get_list("remotes", {0.02, 0.05, 0.1, 0.2, 0.5});
+        double pars = 0.0;
+        for (double p : cfg.get_list("pars", {1, 2, 4, 8, 16, 32})) pars += p;
+        const double net = cfg.get_bool("contention", false) ? 3.0 : 1.0;
+        return horizon * nodes * net * static_cast<double>(lat.size()) *
+               static_cast<double>(rem.size()) * pars;
+      },
   });
 
   registry.add(Scenario{
@@ -549,6 +585,20 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       },
       /*verify_params=*/"horizon=8000 latency=200 sizes=1,4 pars=1,8",
       /*verify_fingerprint=*/0x9efb7d3d36ec7984ull,
+      // Event count ~ horizon x total nodes across size panels x contexts.
+      /*cost_hint=*/
+      [](const Config& cfg) {
+        const double horizon = cfg.get_double("horizon", 20'000.0);
+        double sizes = 0.0;
+        for (double s :
+             cfg.get_list("sizes", {1, 2, 4, 8, 16, 32, 64, 128, 256})) {
+          sizes += s;
+        }
+        double pars = 0.0;
+        for (double p : cfg.get_list("pars", {1, 2, 4, 8, 16, 32})) pars += p;
+        const double net = cfg.get_bool("contention", false) ? 3.0 : 1.0;
+        return horizon * sizes * pars * net;
+      },
   });
 
   // --- extensions (paper Section 5) ---------------------------------------
@@ -719,6 +769,14 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       },
       /*verify_params=*/"ops=60000 nodes=4 banks=1,4",
       /*verify_fingerprint=*/0xacbd2bd677c9b95full,
+      // One banked-DES run per bank count, each ~ ops memory events.
+      /*cost_hint=*/
+      [](const Config& cfg) {
+        const double ops = static_cast<double>(cfg.get_int("ops", 400'000));
+        const double banks =
+            static_cast<double>(cfg.get_list("banks", {1, 2, 4, 8}).size());
+        return ops * banks;
+      },
   });
 
   registry.add(Scenario{
@@ -903,6 +961,17 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       make_hotspot_table,
       /*verify_params=*/"packets=50 gaps=4096,32",
       /*verify_fingerprint=*/0x111ea3ac7cdfe0f6ull,
+      // Packet-level runs: sources x packets per (gap, network) cell.
+      /*cost_hint=*/
+      [](const Config& cfg) {
+        const double nodes = static_cast<double>(cfg.get_int("nodes", 16));
+        const double packets = static_cast<double>(cfg.get_int("packets", 200));
+        const double gaps = static_cast<double>(
+            cfg.get_list("gaps", {4096, 256, 32, 8, 4}).size());
+        const double nets = static_cast<double>(
+            split_csv(cfg.get_string("networks", "flat,mesh2d,torus")).size());
+        return nodes * packets * gaps * nets;
+      },
   });
 }
 

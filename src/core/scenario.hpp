@@ -49,6 +49,13 @@ struct Scenario {
   /// Fingerprints are compiler/libm sensitive, so `pimsim verify` only
   /// enforces them with strict=1 (the determinism recheck always runs).
   std::uint64_t verify_fingerprint = 0;
+
+  /// Relative cost estimate of one point at `cfg` — any monotone proxy
+  /// for wall time (events, horizon x array size).  Feeds the shard
+  /// planner's heaviest-first balance; unset (or throwing) scenarios
+  /// weight every point equally.  Never affects results, only which
+  /// shard computes a point.
+  std::function<double(const Config&)> cost_hint;
 };
 
 /// Name -> Scenario map with loud duplicate/lookup failures.

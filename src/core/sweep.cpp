@@ -1,6 +1,9 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cmath>
 #include <exception>
 #include <memory>
 
@@ -8,6 +11,61 @@
 #include "core/experiment.hpp"
 
 namespace pimsim::core {
+
+ShardSpec parse_shard(const std::string& text) {
+  const auto fail = [&text]() -> ShardSpec {
+    throw InvalidArgument(
+        "pimsim sweep: malformed shard '" + text +
+        "'; valid form: shard=i/N with integers 0 <= i < N (e.g. shard=0/4)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return fail();
+  }
+  const std::string index_text = text.substr(0, slash);
+  const std::string count_text = text.substr(slash + 1);
+  const auto all_digits = [](const std::string& s) {
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+      return std::isdigit(c) != 0;
+    });
+  };
+  if (!all_digits(index_text) || !all_digits(count_text)) return fail();
+  ShardSpec spec;
+  try {
+    spec.index = std::stoul(index_text);
+    spec.count = std::stoul(count_text);
+  } catch (const std::exception&) {
+    return fail();
+  }
+  if (spec.count == 0 || spec.index >= spec.count) return fail();
+  return spec;
+}
+
+std::vector<std::size_t> plan_shards(const std::vector<double>& weights,
+                                     std::size_t shards) {
+  require(shards >= 1, "plan_shards: shard count must be >= 1");
+  // Heaviest first: LPT greedy onto the lightest bin.  Both orderings
+  // break ties by index, so the plan is a pure function of its inputs.
+  std::vector<std::size_t> order(weights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  std::vector<double> load(shards, 0.0);
+  std::vector<std::size_t> shard_of(weights.size(), 0);
+  for (const std::size_t point : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    shard_of[point] = lightest;
+    // Zero/negative/non-finite weights still advance the bin so equal
+    // weights round-robin instead of piling onto shard 0.
+    const double w = weights[point];
+    load[lightest] += (std::isfinite(w) && w > 0.0) ? w : 1.0;
+  }
+  return shard_of;
+}
 
 // One parallel index loop.  Heap-allocated and shared with every queued
 // runner task, so a task that drains from the queue after the batch has

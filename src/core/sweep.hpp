@@ -17,12 +17,35 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 
 namespace pimsim::core {
+
+/// One shard of a sweep grid: this process owns shard `index` of `count`
+/// (`pimsim sweep ... shard=i/N`).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses "i/N" with integers 0 <= i < N.  Anything else — missing
+/// slash, non-digits, i >= N, N == 0 — throws InvalidArgument naming the
+/// valid form, so a typo'd shard= never silently runs the full grid.
+[[nodiscard]] ShardSpec parse_shard(const std::string& text);
+
+/// Deterministic heaviest-first (LPT) partition: points sorted by
+/// (weight descending, index ascending) are greedily placed on the
+/// currently lightest shard (ties -> lowest shard id).  Returns the
+/// shard id of every point.  A pure function of (weights, shards): the
+/// same grid always shards the same way, on any host, at any jobs=N —
+/// which is what makes a chunk recomputable anywhere and comparable by
+/// fingerprint.  Equal weights degrade to round-robin in grid order.
+[[nodiscard]] std::vector<std::size_t> plan_shards(
+    const std::vector<double>& weights, std::size_t shards);
 
 class SweepRunner {
  public:

@@ -79,6 +79,18 @@ void Gauge::merge(const Gauge& other) {
   }
 }
 
+Gauge Gauge::restore(double value, double max, double area, double span,
+                     double last_t, bool seen) {
+  Gauge g;
+  g.value_ = value;
+  g.max_ = max;
+  g.area_ = area;
+  g.span_ = span;
+  g.last_t_ = last_t;
+  g.seen_ = seen;
+  return g;
+}
+
 // ---------------------------------------------------------------------------
 // Summary
 
@@ -114,6 +126,13 @@ double Summary::quantile(double q) const {
 void Summary::merge(const Summary& other) {
   stats_.merge(other.stats_);
   for (std::size_t k = 0; k < kBins; ++k) bins_[k] += other.bins_[k];
+}
+
+Summary Summary::restore(const RunningStats& stats, const std::uint64_t* bins) {
+  Summary s;
+  s.stats_ = stats;
+  for (std::size_t k = 0; k < kBins; ++k) s.bins_[k] = bins[k];
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -225,7 +244,8 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
 
 std::string MetricsRegistry::serialize() const {
   // Canonical bytes covering exactly the merge-relevant state, so equal
-  // serializations are interchangeable merge operands.
+  // serializations are interchangeable merge operands and deserialize()
+  // can rebuild a bit-identical registry in another process.
   std::string out;
   for (const auto& [name, e] : entries_) {
     out += name;
@@ -238,14 +258,16 @@ std::string MetricsRegistry::serialize() const {
       case MetricKind::kGauge:
         put_f64(out, e.gauge.current());
         put_f64(out, e.gauge.max());
-        put_f64(out, e.gauge.mean());
+        put_f64(out, e.gauge.area());
         put_f64(out, e.gauge.span());
+        put_f64(out, e.gauge.last_time());
+        out.push_back(e.gauge.seen() ? '\1' : '\0');
         break;
       case MetricKind::kSummary: {
         const RunningStats& s = e.summary.stats();
         put_u64(out, e.summary.count());
         put_f64(out, s.mean());
-        put_f64(out, s.variance());
+        put_f64(out, s.m2());
         put_f64(out, s.min());
         put_f64(out, s.max());
         for (std::size_t k = 0; k < Summary::kBins; ++k) put_u64(out, e.summary.bins()[k]);
@@ -254,6 +276,68 @@ std::string MetricsRegistry::serialize() const {
     }
   }
   return out;
+}
+
+MetricsRegistry MetricsRegistry::deserialize(std::string_view bytes) {
+  std::size_t pos = 0;
+  const auto take = [&](std::size_t n) -> std::string_view {
+    require(bytes.size() - pos >= n,
+            "MetricsRegistry::deserialize: truncated snapshot");
+    const std::string_view piece = bytes.substr(pos, n);
+    pos += n;
+    return piece;
+  };
+  const auto take_u64 = [&] {
+    const std::string_view b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8U) | static_cast<unsigned char>(b[static_cast<std::size_t>(i)]);
+    }
+    return v;
+  };
+  const auto take_f64 = [&] { return std::bit_cast<double>(take_u64()); };
+
+  MetricsRegistry reg;
+  while (pos < bytes.size()) {
+    const std::size_t nul = bytes.find('\0', pos);
+    require(nul != std::string_view::npos,
+            "MetricsRegistry::deserialize: unterminated metric name");
+    const std::string name(bytes.substr(pos, nul - pos));
+    require(!name.empty(), "MetricsRegistry::deserialize: empty metric name");
+    pos = nul + 1;
+    const auto kind = static_cast<MetricKind>(take(1)[0]);
+    switch (kind) {
+      case MetricKind::kCounter:
+        reg.counter(name).add(take_u64());
+        break;
+      case MetricKind::kGauge: {
+        const double value = take_f64();
+        const double max = take_f64();
+        const double area = take_f64();
+        const double span = take_f64();
+        const double last_t = take_f64();
+        const bool seen = take(1)[0] != '\0';
+        reg.entry(name, MetricKind::kGauge).gauge =
+            Gauge::restore(value, max, area, span, last_t, seen);
+        break;
+      }
+      case MetricKind::kSummary: {
+        const auto n = static_cast<std::size_t>(take_u64());
+        const double mean = take_f64();
+        const double m2 = take_f64();
+        const double min = take_f64();
+        const double max = take_f64();
+        std::uint64_t bins[Summary::kBins];
+        for (std::uint64_t& b : bins) b = take_u64();
+        reg.entry(name, MetricKind::kSummary).summary = Summary::restore(
+            RunningStats::restore(n, mean, m2, min, max), bins);
+        break;
+      }
+      default:
+        throw ConfigError("MetricsRegistry::deserialize: unknown metric kind");
+    }
+  }
+  return reg;
 }
 
 std::uint64_t MetricsRegistry::fingerprint() const { return fnv1a(serialize()); }
@@ -310,6 +394,24 @@ MetricsRegistry MetricsHub::aggregate() const {
   MetricsRegistry out;
   for (const std::size_t k : order) out.merge(snaps[k]);
   return out;
+}
+
+std::vector<std::string> MetricsHub::snapshot_bytes() const {
+  std::vector<std::string> out;
+  {
+    Impl& i = impl();
+    const std::lock_guard<std::mutex> lock(i.mutex);
+    out.reserve(i.snapshots.size());
+    for (const MetricsRegistry& r : i.snapshots) out.push_back(r.serialize());
+  }
+  // Sorted so the sidecar bytes do not depend on which sweep thread's
+  // simulation finished first (the fold re-sorts anyway).
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsHub::absorb_bytes(std::string_view bytes) {
+  absorb(MetricsRegistry::deserialize(bytes));
 }
 
 void MetricsHub::write_json(std::ostream& os) const {

@@ -25,6 +25,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/stats.hpp"
 
@@ -59,6 +60,14 @@ class Gauge {
 
   void merge(const Gauge& other);
 
+  // Serialization support (cross-process chunk sidecars): the exact
+  // merge-relevant state, so a restored gauge merges bit-identically.
+  [[nodiscard]] double area() const { return area_; }
+  [[nodiscard]] double last_time() const { return last_t_; }
+  [[nodiscard]] bool seen() const { return seen_; }
+  [[nodiscard]] static Gauge restore(double value, double max, double area,
+                                     double span, double last_t, bool seen);
+
  private:
   double value_ = 0.0;
   double max_ = 0.0;
@@ -90,6 +99,11 @@ class Summary {
   [[nodiscard]] static std::size_t bin_of(double x);
 
   [[nodiscard]] const std::uint64_t* bins() const { return bins_; }
+
+  /// Reconstitutes a summary from its exact accumulator state (the
+  /// counterpart of RunningStats::restore, for chunk sidecars).
+  [[nodiscard]] static Summary restore(const RunningStats& stats,
+                                       const std::uint64_t* bins);
 
  private:
   RunningStats stats_;
@@ -126,6 +140,14 @@ class MetricsRegistry {
   /// registration order.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
+  /// Rebuilds a registry from serialize()'s canonical bytes.  The round
+  /// trip is exact — the restored registry serializes to the same bytes
+  /// and merges bit-identically — which is what lets sharded sweep
+  /// processes ship their per-simulation snapshots through chunk
+  /// sidecars and refold them in the merge process.  Throws ConfigError
+  /// on truncated or malformed input.
+  [[nodiscard]] static MetricsRegistry deserialize(std::string_view bytes);
+
  private:
   struct Entry {
     MetricKind kind = MetricKind::kCounter;
@@ -155,6 +177,14 @@ class MetricsHub {
 
   /// Deterministic fold of every absorbed registry.
   [[nodiscard]] MetricsRegistry aggregate() const;
+
+  /// Canonical bytes of every absorbed per-simulation snapshot, sorted —
+  /// what a sharded sweep embeds in its chunk sidecar so the merge
+  /// process can refold across process boundaries.
+  [[nodiscard]] std::vector<std::string> snapshot_bytes() const;
+  /// Reinstates one snapshot serialized by snapshot_bytes() (counts as
+  /// one absorbed simulation).  Throws ConfigError on malformed bytes.
+  void absorb_bytes(std::string_view bytes);
 
   void write_json(std::ostream& os) const;
   void write_csv(std::ostream& os) const;

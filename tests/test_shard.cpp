@@ -1,0 +1,229 @@
+// Sharded sweep fabric tests: the shard planner (disjoint cover,
+// heaviest-first balance, determinism), shard= parsing, and the
+// end-to-end chunk contract through the real CLI — merge of N shards is
+// byte-identical to the unsharded sweep (CSV and metrics) for
+// N in {1, 2, 4}, a complete chunk is a no-op skip on rerun, and
+// corrupted / foreign / missing chunks are detected, not merged.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/chunk.hpp"
+#include "core/cli.hpp"
+#include "core/sweep.hpp"
+
+namespace pimsim::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ParseShard, AcceptsValidForms) {
+  EXPECT_EQ(parse_shard("0/1").index, 0u);
+  EXPECT_EQ(parse_shard("0/1").count, 1u);
+  EXPECT_EQ(parse_shard("3/4").index, 3u);
+  EXPECT_EQ(parse_shard("3/4").count, 4u);
+  EXPECT_EQ(parse_shard("12/100").index, 12u);
+}
+
+TEST(ParseShard, RejectsMalformedNamingTheValidForm) {
+  for (const char* bad : {"", "2", "a/b", "1/", "/4", "4/4", "5/4", "0/0",
+                          "-1/4", "1/-4", "1.5/4", "1 /4", "0x1/4"}) {
+    try {
+      (void)parse_shard(bad);
+      FAIL() << "expected InvalidArgument for '" << bad << "'";
+    } catch (const InvalidArgument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("shard=i/N"), std::string::npos) << bad;
+      EXPECT_NE(what.find("valid form"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(PlanShards, DisjointCoverAndRoundRobinOnEqualWeights) {
+  const std::vector<double> weights(10, 1.0);
+  const auto plan = plan_shards(weights, 4);
+  ASSERT_EQ(plan.size(), 10u);
+  std::vector<std::size_t> sizes(4, 0);
+  for (const std::size_t s : plan) {
+    ASSERT_LT(s, 4u);  // every point owned by exactly one valid shard
+    ++sizes[s];
+  }
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 10u);
+  // Equal weights degrade to round-robin: bin sizes differ by at most 1.
+  for (const std::size_t n : sizes) {
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 3u);
+  }
+}
+
+TEST(PlanShards, HeaviestFirstBalancesSkewedWeights) {
+  // One dominant point plus many small ones: LPT puts the heavy point
+  // alone on one shard and spreads the rest over the other.
+  const std::vector<double> weights = {100, 1, 1, 1, 1, 1, 1, 1};
+  const auto plan = plan_shards(weights, 2);
+  std::vector<double> load(2, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) load[plan[i]] += weights[i];
+  // The seven light points all land opposite the heavy one.
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_NE(plan[i], plan[0]) << "light point " << i << " shares the "
+                                   "heavy shard";
+  }
+}
+
+TEST(PlanShards, PureFunctionOfInputs) {
+  const std::vector<double> weights = {3, 1, 4, 1, 5, 9, 2, 6};
+  EXPECT_EQ(plan_shards(weights, 3), plan_shards(weights, 3));
+  // Degenerate weights (zero, negative, NaN) still produce a full cover.
+  const std::vector<double> weird = {0.0, -1.0,
+                                     std::numeric_limits<double>::quiet_NaN(),
+                                     1.0};
+  const auto plan = plan_shards(weird, 2);
+  for (const std::size_t s : plan) EXPECT_LT(s, 2u);
+}
+
+// --- end-to-end through the CLI ------------------------------------------
+
+int run_cli(std::vector<std::string> args) {
+  args.insert(args.begin(), "pimsim");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return cli_main(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Fixture owning a scratch dir (fixed name, ctest runs in the build
+/// dir) with a small 4-point memory_contention grid.
+class ShardEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    std::ofstream cfg(root_ / "grid.cfg");
+    cfg << "ops=20000\nnodes=2\nbanks=1,2\nseed=3,5\n";  // 2x2 grid
+    cfg.close();
+    ASSERT_EQ(run_cli({"sweep", "memory_contention", config(), "format=csv",
+                       "out=" + (root_ / "unsharded.csv").string(),
+                       "metrics=" + (root_ / "unsharded_metrics.json").string()}),
+              0);
+    unsharded_ = slurp(root_ / "unsharded.csv");
+    ASSERT_FALSE(unsharded_.empty());
+  }
+
+  [[nodiscard]] std::string config() const {
+    return "config=" + (root_ / "grid.cfg").string();
+  }
+
+  int run_shard(std::size_t i, std::size_t n, const std::string& dir) {
+    return run_cli({"sweep", "memory_contention", config(), "format=csv",
+                    "shard=" + std::to_string(i) + "/" + std::to_string(n),
+                    "out=" + (root_ / dir).string()});
+  }
+
+  int merge(const std::string& dir, const std::string& out,
+            const std::string& metrics = "") {
+    std::vector<std::string> args{"merge", (root_ / dir).string(),
+                                  "out=" + (root_ / out).string()};
+    if (!metrics.empty()) args.push_back("metrics=" + (root_ / metrics).string());
+    return run_cli(args);
+  }
+
+  const fs::path root_{"test_shard_tmp"};
+  std::string unsharded_;
+};
+
+TEST_F(ShardEndToEnd, MergeIsByteIdenticalToUnshardedForAnyShardCount) {
+  const std::string metrics_ref = slurp(root_ / "unsharded_metrics.json");
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const std::string dir = "chunks" + std::to_string(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(run_shard(i, n, dir), 0) << "shard " << i << "/" << n;
+    }
+    ASSERT_EQ(merge(dir, "merged.csv", "merged_metrics.json"), 0) << n;
+    EXPECT_EQ(slurp(root_ / "merged.csv"), unsharded_) << "N=" << n;
+    EXPECT_EQ(slurp(root_ / "merged_metrics.json"), metrics_ref) << "N=" << n;
+  }
+}
+
+TEST_F(ShardEndToEnd, RerunOfCompleteShardIsANoOpSkip) {
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);
+  const std::string csv = slurp(root_ / "chunks" / "chunk-0-of-2.csv");
+  const std::string sidecar = slurp(root_ / "chunks" / "chunk-0-of-2.json");
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);  // resume: cache hit
+  EXPECT_EQ(slurp(root_ / "chunks" / "chunk-0-of-2.csv"), csv);
+  EXPECT_EQ(slurp(root_ / "chunks" / "chunk-0-of-2.json"), sidecar);
+}
+
+TEST_F(ShardEndToEnd, DeletedChunkIsRecomputedWithoutTouchingOthers) {
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);
+  ASSERT_EQ(run_shard(1, 2, "chunks"), 0);
+  const std::string other = slurp(root_ / "chunks" / "chunk-1-of-2.csv");
+  fs::remove(root_ / "chunks" / "chunk-0-of-2.csv");
+  fs::remove(root_ / "chunks" / "chunk-0-of-2.json");
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);  // recomputes only shard 0
+  EXPECT_EQ(slurp(root_ / "chunks" / "chunk-1-of-2.csv"), other);
+  ASSERT_EQ(merge("chunks", "merged.csv"), 0);
+  EXPECT_EQ(slurp(root_ / "merged.csv"), unsharded_);
+}
+
+TEST_F(ShardEndToEnd, CorruptedChunkIsDetectedThenRecomputed) {
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);
+  ASSERT_EQ(run_shard(1, 2, "chunks"), 0);
+  {
+    std::ofstream tamper(root_ / "chunks" / "chunk-1-of-2.csv",
+                         std::ios::app | std::ios::binary);
+    tamper << "X";  // divergent bytes: fingerprint check must fire
+  }
+  EXPECT_NE(merge("chunks", "merged.csv"), 0);
+  ASSERT_EQ(run_shard(1, 2, "chunks"), 0);  // invalid chunk -> recompute
+  ASSERT_EQ(merge("chunks", "merged.csv"), 0);
+  EXPECT_EQ(slurp(root_ / "merged.csv"), unsharded_);
+}
+
+TEST_F(ShardEndToEnd, MissingChunkAndForeignContentsAreRejected) {
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);
+  EXPECT_NE(merge("chunks", "merged.csv"), 0);  // shard 1 missing
+
+  ASSERT_EQ(run_shard(1, 2, "chunks"), 0);
+  std::ofstream junk(root_ / "chunks" / "chunk-weird.csv");
+  junk << "?";
+  junk.close();
+  EXPECT_NE(merge("chunks", "merged.csv"), 0);  // unknown chunk-* name
+  fs::remove(root_ / "chunks" / "chunk-weird.csv");
+  EXPECT_EQ(merge("chunks", "merged.csv"), 0);
+}
+
+TEST_F(ShardEndToEnd, DifferentGridIntoSameDirIsRejected) {
+  ASSERT_EQ(run_shard(0, 2, "chunks"), 0);
+  // Same directory, different grid (ops changed): manifest mismatch.
+  EXPECT_NE(run_cli({"sweep", "memory_contention", config(), "format=csv",
+                     "ops=30000", "shard=0/2",
+                     "out=" + (root_ / "chunks").string()}),
+            0);
+  // Different shard count is a different manifest too.
+  EXPECT_NE(run_shard(0, 3, "chunks"), 0);
+}
+
+TEST_F(ShardEndToEnd, ShardWithoutOutDirAndBadDirAreRejected) {
+  EXPECT_NE(run_cli({"sweep", "memory_contention", config(), "shard=0/2"}),
+            0);  // shard= requires out=DIR
+  EXPECT_NE(run_cli({"merge", (root_ / "nonexistent").string()}), 0);
+  EXPECT_NE(run_cli({"merge", root_.string()}), 0);  // no manifest.json
+}
+
+}  // namespace
+}  // namespace pimsim::core

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Fans one sharded `pimsim sweep` across N OS processes and merges.
+#
+# Each shard runs `pimsim sweep <scenario> ... shard=i/N out=DIR` in its
+# own process; shards whose valid chunk already exists skip instantly
+# (the chunk cache), so rerunning this script after a crash or kill only
+# recomputes the missing shards.  When every shard has exited zero the
+# chunks are merged into OUT — byte-identical to a single unsharded
+# `pimsim sweep` (see docs/SWEEPS.md).
+#
+# Usage:
+#   tools/pimsim_sweep_all.sh <pimsim> <shards> <dir> <out> \
+#       <scenario> config=FILE [key=value ...]
+#
+# Example:
+#   tools/pimsim_sweep_all.sh build/pimsim 4 results/fig12 results/fig12.csv \
+#       fig12 config=sweeps/fig12_smoke.cfg format=csv
+set -u
+
+if [ "$#" -lt 5 ]; then
+  echo "usage: $0 <pimsim> <shards> <dir> <out> <scenario> [sweep args ...]" >&2
+  exit 2
+fi
+
+bin=$1
+shards=$2
+dir=$3
+out=$4
+shift 4
+
+case "$shards" in
+  '' | *[!0-9]* | 0)
+    echo "$0: shard count '$shards' must be a positive integer" >&2
+    exit 2
+    ;;
+esac
+
+# One process per shard.  PIDs are collected and waited on individually:
+# a bare `wait` would swallow non-zero exit codes.
+pids=""
+i=0
+while [ "$i" -lt "$shards" ]; do
+  "$bin" sweep "$@" "shard=$i/$shards" "out=$dir" &
+  pids="$pids $!"
+  i=$((i + 1))
+done
+
+fail=0
+for pid in $pids; do
+  wait "$pid" || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+  echo "$0: a shard failed; fix and rerun (completed shards are cached)" >&2
+  exit 1
+fi
+
+exec "$bin" merge "$dir" "out=$out"
