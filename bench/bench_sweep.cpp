@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/scenario.hpp"
 
 namespace {
 
@@ -159,6 +161,41 @@ int main(int argc, char** argv) {
       result.add_row({name, parallel_s, serial_s / parallel_s,
                       std::string(same ? "yes" : "NO — DETERMINISM BUG")});
       cells.push_back(grid_cell(name, parallel_s, 54));
+    }
+
+    // Replication-engine overhead: one fig12 point folded over 8 reps
+    // through the engine vs the same 8 single-rep tables run directly
+    // and folded by hand.  The two folds must be identical cell for
+    // cell, and the engine run should cost ~the 8 raw runs (the fold
+    // itself is table arithmetic, not simulation).
+    {
+      const core::Scenario& fig12_scn =
+          core::ScenarioRegistry::global().get("fig12");
+      const Config rep_cfg = Config::from_string(
+          "horizon=20000 sizes=1,4,16 pars=1,8 reps=8");
+      const auto start_engine = std::chrono::steady_clock::now();
+      const Table engine_fold = core::run_scenario(fig12_scn, rep_cfg);
+      const double reps_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start_engine)
+                                .count();
+      const auto start_direct = std::chrono::steady_clock::now();
+      std::vector<Table> rep_tables;
+      for (std::size_t r = 0; r < 8; ++r) {
+        rep_tables.push_back(core::run_replication(fig12_scn, rep_cfg, r));
+      }
+      const Table manual_fold = core::fold_replications(rep_tables);
+      const double direct_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  start_direct)
+                                  .count();
+      const bool same = tables_identical(engine_fold, manual_fold);
+      all_identical = all_identical && same;
+      result.add_row({std::string("points_8"), direct_s, 1.0,
+                      std::string("yes (reference)")});
+      result.add_row({std::string("reps_8"), reps_s, direct_s / reps_s,
+                      std::string(same ? "yes" : "NO — FOLD DIVERGENCE")});
+      cells.push_back(grid_cell("points_8", direct_s, 8));
+      cells.push_back(grid_cell("reps_8", reps_s, 8));
     }
 
     // Sharded process cells: 1 process vs 4 processes over the same

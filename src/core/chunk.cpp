@@ -173,34 +173,60 @@ std::string fingerprint_text(std::uint64_t fp) {
 }
 
 /// The manifest bytes: a pure function of the grid, so every shard
-/// process produces the identical file.
+/// process produces the identical file.  Replicated grids append the
+/// per-point rep counts and the (point, rep) unit plan; plain grids
+/// produce the exact pre-replication pimsim-manifest-v1 bytes.
 std::string manifest_text(const GridSpec& grid) {
   std::ostringstream os;
   os << "{\n  \"schema\": \"pimsim-manifest-v1\",\n  \"scenario\": \""
      << json_escape(grid.scenario) << "\",\n  \"format\": \"" << grid.format
      << "\",\n  \"shards\": " << grid.shards
-     << ",\n  \"total_points\": " << grid.assignments.size()
-     << ",\n  \"grid_fingerprint\": \"" << fingerprint_text(grid.grid_fingerprint)
+     << ",\n  \"total_points\": " << grid.assignments.size();
+  if (grid.replicated) {
+    os << ",\n  \"replicated\": true,\n  \"total_units\": "
+       << grid.unit_point.size();
+  }
+  os << ",\n  \"grid_fingerprint\": \"" << fingerprint_text(grid.grid_fingerprint)
      << "\",\n  \"points\": [\n";
   for (std::size_t i = 0; i < grid.assignments.size(); ++i) {
-    os << "    {\"point\": " << i << ", \"shard\": " << grid.shard_of[i]
-       << ", \"assignment\": \"" << json_escape(grid.assignments[i]) << "\"}"
+    os << "    {\"point\": " << i << ", \"shard\": " << grid.shard_of[i];
+    if (grid.replicated) os << ", \"reps\": " << grid.point_reps[i];
+    os << ", \"assignment\": \"" << json_escape(grid.assignments[i]) << "\"}"
        << (i + 1 < grid.assignments.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (grid.replicated) {
+    os << ",\n  \"units\": [\n";
+    for (std::size_t u = 0; u < grid.unit_point.size(); ++u) {
+      os << "    {\"unit\": " << u << ", \"point\": " << grid.unit_point[u]
+         << ", \"rep\": " << grid.unit_rep[u] << ", \"shard\": "
+         << grid.unit_shard[u] << "}"
+         << (u + 1 < grid.unit_point.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
 /// Splits the lines of a JSON array of one-object-per-line entries, each
-/// containing `"point":` — the shape both writers emit.
-std::vector<std::string> point_lines(const std::string& text) {
+/// starting with `{"<tag>":` — the shape both writers emit.  Manifest
+/// unit lines start `{"unit":` and chunk/manifest point entries start
+/// `{"point":`, so the two arrays never cross-match.
+std::vector<std::string> tagged_lines(const std::string& text,
+                                      const char* tag) {
+  const std::string token = std::string("{\"") + tag + "\":";
   std::vector<std::string> out;
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
-    if (line.find("{\"point\":") != std::string::npos) out.push_back(line);
+    if (line.find(token) != std::string::npos) out.push_back(line);
   }
   return out;
+}
+
+std::vector<std::string> point_lines(const std::string& text) {
+  return tagged_lines(text, "point");
 }
 
 /// Grid-ordered indices of the points shard `shard` owns.
@@ -209,6 +235,16 @@ std::vector<std::size_t> points_of_shard(const GridSpec& grid,
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < grid.shard_of.size(); ++i) {
     if (grid.shard_of[i] == shard) out.push_back(i);
+  }
+  return out;
+}
+
+/// Grid-ordered unit indices owned by `shard` (replicated grids).
+std::vector<std::size_t> units_of_shard(const GridSpec& grid,
+                                        std::size_t shard) {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < grid.unit_shard.size(); ++u) {
+    if (grid.unit_shard[u] == shard) out.push_back(u);
   }
   return out;
 }
@@ -256,12 +292,15 @@ void write_chunk(const std::string& dir, const GridSpec& grid,
       os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\n  \"schema\": \"pimsim-chunk-v1\",\n  \"scenario\": \""
      << json_escape(grid.scenario) << "\",\n  \"format\": \"" << grid.format
-     << "\",\n  \"shard\": " << shard << ",\n  \"shards\": " << grid.shards
-     << ",\n  \"grid_fingerprint\": \"" << fingerprint_text(grid.grid_fingerprint)
+     << "\",\n  \"shard\": " << shard << ",\n  \"shards\": " << grid.shards;
+  if (grid.replicated) os << ",\n  \"replicated\": true";
+  os << ",\n  \"grid_fingerprint\": \"" << fingerprint_text(grid.grid_fingerprint)
      << "\",\n  \"wall_seconds\": " << wall_seconds << ",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ChunkPoint& p = points[i];
-    os << "    {\"point\": " << p.point << ", \"assignment\": \""
+    os << "    {\"point\": " << p.point;
+    if (grid.replicated) os << ", \"rep\": " << p.rep;
+    os << ", \"assignment\": \""
        << json_escape(p.assignment) << "\", \"bytes\": " << p.block.size()
        << ", \"fingerprint\": \"" << fingerprint_text(p.fingerprint) << "\"}"
        << (i + 1 < points.size() ? "," : "") << "\n";
@@ -296,6 +335,8 @@ GridSpec read_manifest(const std::string& dir) {
   const std::size_t total = find_size(text, "total_points", file);
   require(grid.shards >= 1, "pimsim merge: '" + file + "': shards must be >= 1");
 
+  grid.replicated = text.find("\"replicated\": true") != std::string::npos;
+
   for (const std::string& line : point_lines(text)) {
     const std::size_t point = find_size(line, "point", file);
     const std::size_t shard = find_size(line, "shard", file);
@@ -306,10 +347,46 @@ GridSpec read_manifest(const std::string& dir) {
                 std::to_string(shard) + " of " + std::to_string(grid.shards));
     grid.assignments.push_back(find_string(line, "assignment", file));
     grid.shard_of.push_back(shard);
+    if (grid.replicated) {
+      const std::size_t reps = find_size(line, "reps", file);
+      require(reps >= 1, "pimsim merge: '" + file + "': point " +
+                             std::to_string(point) + " declares zero reps");
+      grid.point_reps.push_back(reps);
+    }
   }
   require(grid.assignments.size() == total,
           "pimsim merge: '" + file + "': total_points disagrees with the "
           "point list");
+
+  if (grid.replicated) {
+    const std::size_t total_units = find_size(text, "total_units", file);
+    for (const std::string& line : tagged_lines(text, "unit")) {
+      const std::size_t unit = find_size(line, "unit", file);
+      const std::size_t point = find_size(line, "point", file);
+      const std::size_t rep = find_size(line, "rep", file);
+      const std::size_t shard = find_size(line, "shard", file);
+      require(unit == grid.unit_point.size(),
+              "pimsim merge: '" + file + "': units out of order");
+      require(point < grid.assignments.size() && rep < grid.point_reps[point],
+              "pimsim merge: '" + file + "': unit " + std::to_string(unit) +
+                  " names an out-of-range (point, rep)");
+      require(shard < grid.shards,
+              "pimsim merge: '" + file + "': unit assigned to shard " +
+                  std::to_string(shard) + " of " +
+                  std::to_string(grid.shards));
+      grid.unit_point.push_back(point);
+      grid.unit_rep.push_back(rep);
+      grid.unit_shard.push_back(shard);
+    }
+    require(grid.unit_point.size() == total_units,
+            "pimsim merge: '" + file + "': total_units disagrees with the "
+            "unit list");
+    std::size_t expected_units = 0;
+    for (const std::size_t r : grid.point_reps) expected_units += r;
+    require(expected_units == total_units,
+            "pimsim merge: '" + file + "': unit list does not cover every "
+            "(point, rep) once");
+  }
   return grid;
 }
 
@@ -341,8 +418,15 @@ ChunkData read_chunk(const std::string& dir, const GridSpec& grid,
   data.shard = shard;
   data.wall_seconds = find_number(text, "wall_seconds", file);
 
+  require((text.find("\"replicated\": true") != std::string::npos) ==
+              grid.replicated,
+          "pimsim merge: '" + file + "': replication mode differs from the "
+          "manifest");
+
   const std::string blocks = slurp(csv_path, "chunk data");
-  const std::vector<std::size_t> expected = points_of_shard(grid, shard);
+  const std::vector<std::size_t> expected =
+      grid.replicated ? units_of_shard(grid, shard)
+                      : points_of_shard(grid, shard);
   std::size_t offset = 0;
   std::size_t next = 0;
   for (const std::string& line : point_lines(text)) {
@@ -351,9 +435,18 @@ ChunkData read_chunk(const std::string& dir, const GridSpec& grid,
     p.assignment = find_string(line, "assignment", file);
     const std::size_t bytes = find_size(line, "bytes", file);
     p.fingerprint = find_fingerprint(line, "fingerprint", file);
-    require(next < expected.size() && p.point == expected[next],
-            "pimsim merge: '" + file + "': point set diverges from the "
-            "manifest's shard plan");
+    if (grid.replicated) {
+      p.rep = find_size(line, "rep", file);
+      require(next < expected.size() &&
+                  p.point == grid.unit_point[expected[next]] &&
+                  p.rep == grid.unit_rep[expected[next]],
+              "pimsim merge: '" + file + "': unit set diverges from the "
+              "manifest's shard plan");
+    } else {
+      require(next < expected.size() && p.point == expected[next],
+              "pimsim merge: '" + file + "': point set diverges from the "
+              "manifest's shard plan");
+    }
     require(p.point < grid.assignments.size() &&
                 p.assignment == grid.assignments[p.point],
             "pimsim merge: '" + file + "': point assignment differs from "

@@ -21,22 +21,38 @@
 
 namespace pimsim::core {
 
-/// One sweep point's rendered output inside a chunk.
+/// One sweep unit's output inside a chunk.  In a plain grid a unit is a
+/// point and `block` holds its rendered bytes; in a replicated grid
+/// (docs/REPLICATION.md) a unit is one (point, rep) replication and
+/// `block` holds the exact "pimsim-rep-v1" serialization of its table,
+/// which `pimsim merge` refolds bit-for-bit.
 struct ChunkPoint {
   std::size_t point = 0;          ///< global grid index
+  std::size_t rep = 0;            ///< replication index (replicated grids)
   std::string assignment;         ///< swept-axis "k=v ..." summary (may be empty)
-  std::string block;              ///< rendered bytes: "# header\n" + table
+  std::string block;              ///< rendered block, or serialized rep table
   std::uint64_t fingerprint = 0;  ///< FNV-1a 64 of `block`
 };
 
 /// Grid identity shared by the manifest and every chunk of one sweep.
+/// When any point requests reps > 1 the grid is *replicated*: the shard
+/// plan assigns (point, rep) units instead of points, so the replication
+/// axis shards like any other.  Non-replicated grids leave the unit
+/// vectors empty and their manifest/chunk bytes are unchanged from
+/// pimsim-manifest-v1 as written before the replication engine existed.
 struct GridSpec {
   std::string scenario;
   std::string format;                    ///< "text" | "csv" | "json"
   std::size_t shards = 1;
   std::uint64_t grid_fingerprint = 0;    ///< FNV-1a of the canonical grid text
   std::vector<std::string> assignments;  ///< per point, in grid order
-  std::vector<std::size_t> shard_of;     ///< planned shard per point
+  std::vector<std::size_t> shard_of;     ///< planned shard per point (or of
+                                         ///< the point's rep-0 unit)
+  bool replicated = false;               ///< any point's reps > 1
+  std::vector<std::size_t> point_reps;   ///< per point; empty when !replicated
+  std::vector<std::size_t> unit_point;   ///< per unit, in grid order
+  std::vector<std::size_t> unit_rep;     ///< per unit, in grid order
+  std::vector<std::size_t> unit_shard;   ///< planned shard per unit
 };
 
 /// A chunk read back from disk (sidecar + rendered blocks, validated).

@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/chunk.hpp"
+#include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "des/audit.hpp"
@@ -42,6 +43,10 @@ usage:
       stdout.  audit=1 turns on the event kernel's determinism audit
       (event-chain hashing + invariant sweeps; see docs/DETERMINISM.md)
       and reports the chain summary on stderr.
+      Scenarios with a `reps` knob run reps= seed-streamed replications
+      (one SplitMix64-derived seed per rep; see docs/REPLICATION.md)
+      and emit a `<col> ±` 95% half-width companion per column; reps=1
+      (the default) is bitwise-identical to a single run.
       Observability (docs/OBSERVABILITY.md): trace=PATH exports a
       Chrome-trace-event JSON (Perfetto / chrome://tracing loadable;
       PIMSIM_TRACE=full in the environment widens the kind mask to the
@@ -70,8 +75,12 @@ usage:
       "pimsim-chunk-v1" JSON sidecar with per-point fingerprints and
       metrics snapshots) plus an idempotent manifest.json into DIR.
       Rerunning a shard whose valid chunk already exists is a no-op
-      skip, so a killed sweep resumes from its surviving chunks.  See
-      docs/SWEEPS.md and tools/pimsim_sweep_all.sh.
+      skip, so a killed sweep resumes from its surviving chunks.  When
+      any point requests reps > 1 the shard plan splits (point, rep)
+      units instead of points — `reps=32 shard=i/N` spreads the 32
+      replications across the N shards — and chunks carry exact
+      serialized per-rep tables that merge refolds bit-for-bit.  See
+      docs/SWEEPS.md, docs/REPLICATION.md, tools/pimsim_sweep_all.sh.
 
   pimsim merge <DIR> [out=PATH] [metrics=PATH]
       Validates and merges the chunks of a sharded sweep: every chunk
@@ -79,7 +88,9 @@ usage:
       point set, per-point block fingerprints); missing, duplicate,
       corrupted, and divergent chunks are reported, not merged.  Emits
       the merged table byte-identical to the unsharded `pimsim sweep`
-      output, and with metrics=PATH refolds every shard's metrics
+      output — for replicated sweeps by refolding the per-rep
+      RunningStats from exact serialized cell bits, never re-parsed
+      floats — and with metrics=PATH refolds every shard's metrics
       snapshots into the same dump the unsharded run would write.
 
   pimsim verify <scenario>|all [strict=1] [audit=1]
@@ -87,7 +98,10 @@ usage:
       grid: reruns at two sweep thread counts and requires bitwise-
       identical CSV, and prints the output fingerprint.  With strict=1
       a pinned fingerprint mismatch also fails (fingerprints are
-      compiler/libm sensitive, so this is opt-in).  With audit=1 both
+      compiler/libm sensitive, so this is opt-in).  Scenarios with a
+      `reps` knob get an extra replication-determinism pass: the verify
+      grid at reps=2 must fold to identical bytes across thread counts.
+      With audit=1 both
       passes also run under the kernel's determinism audit, and the
       aggregated event-chain hashes must match across thread counts —
       a divergence check on the event streams themselves, not just the
@@ -460,13 +474,24 @@ GridSpec build_grid(const Scenario& scenario, const Config& merged,
   grid.assignments.reserve(points.size());
   std::vector<double> weights;
   weights.reserve(points.size());
-  for (const SweepPoint& point : points) {
+  std::vector<std::size_t> reps(points.size(), 1);
+  bool replicated = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& point = points[i];
     grid.assignments.push_back(point.assignment);
     canonical += point.assignment + "\n";
+    // In a replicated grid the shard plan assigns (point, rep) units, so
+    // weigh one replication (reps=1) — the rep axis multiplies units,
+    // not per-unit cost.
+    const ReplicationSpec rspec = replication_spec(scenario, point.cfg);
+    reps[i] = rspec.reps;
+    replicated = replicated || rspec.reps > 1;
+    Config probe = point.cfg;
+    if (rspec.declared) probe.set("reps", "1");
     double w = 1.0;
     if (scenario.cost_hint) {
       try {
-        w = scenario.cost_hint(point.cfg);
+        w = scenario.cost_hint(probe);
       } catch (const std::exception&) {
         w = 1.0;  // a hint must never be able to fail a sweep
       }
@@ -474,7 +499,29 @@ GridSpec build_grid(const Scenario& scenario, const Config& merged,
     weights.push_back(w);
   }
   grid.grid_fingerprint = data_fingerprint(canonical);
-  grid.shard_of = plan_shards(weights, shard.count);
+  if (replicated) {
+    grid.replicated = true;
+    grid.point_reps = reps;
+    std::vector<double> unit_weights;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::size_t r = 0; r < reps[i]; ++r) {
+        grid.unit_point.push_back(i);
+        grid.unit_rep.push_back(r);
+        unit_weights.push_back(weights[i]);
+      }
+    }
+    grid.unit_shard = plan_shards(unit_weights, shard.count);
+    // Per-point shard_of (the manifest's informational field) is where
+    // the point's first replication landed.
+    grid.shard_of.assign(points.size(), 0);
+    for (std::size_t u = 0; u < grid.unit_point.size(); ++u) {
+      if (grid.unit_rep[u] == 0) {
+        grid.shard_of[grid.unit_point[u]] = grid.unit_shard[u];
+      }
+    }
+  } else {
+    grid.shard_of = plan_shards(weights, shard.count);
+  }
   return grid;
 }
 
@@ -499,9 +546,19 @@ int run_shard(const Scenario& scenario, const Config& cli,
     return 0;
   }
 
+  // In a replicated grid the work list is (point, rep) units and each
+  // unit's chunk payload is the exact serialization of its single-rep
+  // table ("pimsim-rep-v1"); merge refolds them bit-for-bit.  A plain
+  // grid keeps the rendered-block payloads.
   std::vector<std::size_t> mine;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    if (grid.shard_of[i] == shard.index) mine.push_back(i);
+  if (grid.replicated) {
+    for (std::size_t u = 0; u < grid.unit_point.size(); ++u) {
+      if (grid.unit_shard[u] == shard.index) mine.push_back(u);
+    }
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (grid.shard_of[i] == shard.index) mine.push_back(i);
+    }
   }
 
   // Metrics are always collected in shard mode: the sidecar carries the
@@ -513,8 +570,22 @@ int run_shard(const Scenario& scenario, const Config& cli,
   std::vector<std::unique_ptr<Table>> tables(mine.size());
   SweepRunner runner(jobs);
   runner.for_each(mine.size(), [&](std::size_t i) {
-    tables[i] = std::make_unique<Table>(
-        run_scenario(scenario, points[mine[i]].cfg, {"csv", "format", "out"}));
+    if (grid.replicated) {
+      const std::size_t point = grid.unit_point[mine[i]];
+      const std::size_t rep = grid.unit_rep[mine[i]];
+      // Single-rep points run the reps=1 bypass (raw seed), exactly as
+      // the unsharded sweep does; multi-rep points run one derived-seed
+      // replication per unit.
+      tables[i] = std::make_unique<Table>(
+          grid.point_reps[point] == 1
+              ? run_scenario(scenario, points[point].cfg,
+                             {"csv", "format", "out"})
+              : run_replication(scenario, points[point].cfg, rep,
+                                {"csv", "format", "out"}));
+    } else {
+      tables[i] = std::make_unique<Table>(run_scenario(
+          scenario, points[mine[i]].cfg, {"csv", "format", "out"}));
+    }
   });
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
@@ -524,9 +595,15 @@ int run_shard(const Scenario& scenario, const Config& cli,
   chunk_points.reserve(mine.size());
   for (std::size_t i = 0; i < mine.size(); ++i) {
     ChunkPoint p;
-    p.point = mine[i];
-    p.assignment = points[mine[i]].assignment;
-    p.block = render_block(scenario, points[mine[i]], *tables[i], format);
+    if (grid.replicated) {
+      p.point = grid.unit_point[mine[i]];
+      p.rep = grid.unit_rep[mine[i]];
+      p.block = serialize_table(*tables[i]);
+    } else {
+      p.point = mine[i];
+      p.block = render_block(scenario, points[p.point], *tables[i], format);
+    }
+    p.assignment = points[p.point].assignment;
     p.fingerprint = data_fingerprint(p.block);
     chunk_points.push_back(std::move(p));
   }
@@ -535,7 +612,9 @@ int run_shard(const Scenario& scenario, const Config& cli,
   if (!metrics_path.empty()) write_metrics_file(metrics_path);
   if (profile) report_profile(std::cerr);
   std::cerr << "# shard " << shard.index << "/" << shard.count << ": swept "
-            << mine.size() << " of " << points.size() << " point(s) on "
+            << mine.size() << " of "
+            << (grid.replicated ? grid.unit_point.size() : points.size())
+            << " " << (grid.replicated ? "unit(s)" : "point(s)") << " on "
             << runner.threads() << " thread(s) in " << elapsed << " s -> "
             << dir << "/" << chunk_basename(shard.index, shard.count)
             << ".{csv,json}\n";
@@ -678,15 +757,29 @@ int cmd_merge(const std::vector<std::string>& args) {
   }
 
   // Every chunk validates against the manifest (read_chunk checks the
-  // grid fingerprint, the planned point set, and every block's recorded
-  // fingerprint), so after this loop `blocks` holds the full grid.
+  // grid fingerprint, the planned point/unit set, and every block's
+  // recorded fingerprint), so after this loop `blocks` holds the full
+  // grid — rendered blocks per point, or serialized tables per
+  // (point, rep) unit of a replicated grid.
   if (!metrics_path.empty()) obs::MetricsHub::global().reset();
-  std::vector<std::string> blocks(grid.assignments.size());
+  std::vector<std::size_t> unit_offset(grid.assignments.size(), 0);
+  if (grid.replicated) {
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < grid.assignments.size(); ++i) {
+      unit_offset[i] = offset;
+      offset += grid.point_reps[i];
+    }
+  }
+  std::vector<std::string> blocks(
+      grid.replicated ? grid.unit_point.size() : grid.assignments.size());
   double shard_wall = 0.0;
   for (std::size_t s = 0; s < grid.shards; ++s) {
     const ChunkData data = read_chunk(dir, grid, s);
     shard_wall += data.wall_seconds;
-    for (const ChunkPoint& p : data.points) blocks[p.point] = p.block;
+    for (const ChunkPoint& p : data.points) {
+      blocks[grid.replicated ? unit_offset[p.point] + p.rep : p.point] =
+          p.block;
+    }
     if (!metrics_path.empty()) {
       for (const std::string& snapshot : data.metrics) {
         obs::MetricsHub::global().absorb_bytes(snapshot);
@@ -696,7 +789,25 @@ int cmd_merge(const std::vector<std::string>& args) {
 
   const auto out = open_out(cfg);
   std::ostream& os = out ? *out : std::cout;
-  for (const std::string& block : blocks) os << block;
+  if (grid.replicated) {
+    // Refold each point's replications from the exact serialized cell
+    // bits — raw RunningStats moments, never re-parsed rendered floats —
+    // then render once, reproducing the unsharded fold byte for byte.
+    for (std::size_t i = 0; i < grid.assignments.size(); ++i) {
+      std::vector<Table> reps;
+      reps.reserve(grid.point_reps[i]);
+      for (std::size_t r = 0; r < grid.point_reps[i]; ++r) {
+        reps.push_back(deserialize_table(blocks[unit_offset[i] + r]));
+      }
+      const Table folded = fold_replications(reps);
+      os << "# " << grid.scenario
+         << (grid.assignments[i].empty() ? "" : " " + grid.assignments[i])
+         << "\n";
+      render(os, folded, grid.format);
+    }
+  } else {
+    for (const std::string& block : blocks) os << block;
+  }
   if (!metrics_path.empty()) write_metrics_file(metrics_path);
   std::cerr << "# merged " << grid.shards << " chunk(s), "
             << grid.assignments.size() << " point(s), shard wall time "
@@ -742,6 +853,28 @@ int verify_one(const Scenario& s, bool strict, bool audit) {
 
   const std::uint64_t fp = data_fingerprint(first);
 
+  // Replication determinism: scenarios with a reps knob must fold to
+  // identical bytes (and identical event chains under audit) at any
+  // sweep thread count — the reps=1 passes above never exercise the
+  // fold, so run the verify grid once more at reps=2.
+  const bool has_reps = std::any_of(
+      s.params.begin(), s.params.end(),
+      [](const ParamSpec& p) { return p.key == "reps"; });
+  bool reps_ok = true;
+  bool reps_chain_ok = true;
+  if (has_reps) {
+    Config rep_a = cfg, rep_b = cfg;
+    rep_a.set("reps", "2");
+    rep_b.set("reps", "2");
+    if (has_threads) {
+      rep_a.set("threads", "1");
+      rep_b.set("threads", "3");
+    }
+    des::AuditRegistry::Summary rep_chain_a, rep_chain_b;
+    reps_ok = pass(rep_a, rep_chain_a) == pass(rep_b, rep_chain_b);
+    reps_chain_ok = !audit || rep_chain_a == rep_chain_b;
+  }
+
   int failures = 0;
   std::cerr << "verify " << s.name << ": ";
   if (first != second) {
@@ -750,6 +883,16 @@ int verify_one(const Scenario& s, bool strict, bool audit) {
     ++failures;
   } else {
     std::cerr << "determinism ok";
+  }
+  if (has_reps) {
+    if (reps_ok && reps_chain_ok) {
+      std::cerr << ", reps=2 ok";
+    } else {
+      std::cerr << ", reps=2 FAIL ("
+                << (reps_ok ? "event chains diverge" : "folds differ")
+                << (has_threads ? " across sweep_threads 1 vs 3)" : ")");
+      ++failures;
+    }
   }
   if (audit) {
     if (chain_a == chain_b) {

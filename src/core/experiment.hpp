@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/table.hpp"
 
 namespace pimsim::core {
 
@@ -28,5 +30,42 @@ namespace pimsim::core {
 [[nodiscard]] Estimate replicate(
     std::size_t replications, std::uint64_t base_seed,
     const std::function<double(std::uint64_t seed)>& measure);
+
+// --- table-level replication engine (docs/REPLICATION.md) -----------------
+//
+// `run_scenario` drives any scenario declaring a `reps` knob through R
+// seed-streamed replications of its generator and folds the R tables into
+// one with a `<col> ±` half-width companion per column.  The helpers are
+// public because the sharded sweep fabric computes single replications in
+// separate OS processes and refolds them at merge time, byte-identical to
+// the unsharded fold.
+
+/// The per-replication seeds for `reps` replications of `base_seed`: the
+/// first `reps` outputs of SplitMix64(base_seed), the same stream
+/// convention as `replicate()`.  Replication r is reproducible from
+/// (base_seed, r) alone — independent of event interleaving, thread
+/// count, and which process computes it.
+[[nodiscard]] std::vector<std::uint64_t> replication_seeds(
+    std::size_t reps, std::uint64_t base_seed);
+
+/// Folds the per-replication tables of one run into the rendered result:
+/// every column `C` gains a companion `C ±` holding the Student-t
+/// half-width at `level`.  String cells (and int cells identical across
+/// replications) must agree and keep their type with an empty / zero
+/// companion; numeric cells fold through a RunningStats in replication
+/// order, so refolding deserialized tables reproduces the fold bitwise.
+/// A single table is returned unchanged (reps=1 adds no columns).
+[[nodiscard]] Table fold_replications(const std::vector<Table>& tables,
+                                      double level = 0.95);
+
+/// Exact, self-describing serialization of one replication's table
+/// ("pimsim-rep-v1"): doubles are stored as hex bit patterns, so
+/// deserialize_table(serialize_table(t)) reproduces every cell bit for
+/// bit — the property that makes sharded replication merges byte-
+/// identical to unsharded runs.
+[[nodiscard]] std::string serialize_table(const Table& table);
+/// Inverse of serialize_table; throws InvalidArgument on malformed bytes
+/// (a corrupted chunk must be detected, not merged).
+[[nodiscard]] Table deserialize_table(const std::string& bytes);
 
 }  // namespace pimsim::core

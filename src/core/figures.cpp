@@ -89,7 +89,7 @@ Table make_fig5(const HostFigureConfig& config) {
   const std::size_t n_cols = config.node_counts.size();
   SweepRunner runner(config.sweep_threads);
   const std::vector<Estimate> estimates = runner.sweep(
-      config.lwp_fractions.size() * n_cols, config.replications,
+      config.lwp_fractions.size() * n_cols, /*replications=*/1,
       config.base.seed, [&config, n_cols](std::size_t idx, std::uint64_t seed) {
         arch::HostConfig point = config.base;
         point.workload.lwp_fraction = config.lwp_fractions[idx / n_cols];
@@ -121,7 +121,7 @@ Table make_fig6(const HostFigureConfig& config) {
   const std::size_t n_cols = config.lwp_fractions.size();
   SweepRunner runner(config.sweep_threads);
   const std::vector<Estimate> estimates = runner.sweep(
-      config.node_counts.size() * n_cols, config.replications,
+      config.node_counts.size() * n_cols, /*replications=*/1,
       config.base.seed, [&config, n_cols](std::size_t idx, std::uint64_t seed) {
         arch::HostConfig point = config.base;
         point.lwp_nodes = config.node_counts[idx / n_cols];

@@ -24,7 +24,6 @@ struct HostFigureConfig {
   arch::HostConfig base;                     ///< Table 1 defaults
   std::vector<std::size_t> node_counts;      ///< N axis
   std::vector<double> lwp_fractions;         ///< %WL axis / curve family
-  std::size_t replications = 3;
   std::size_t sweep_threads = 0;  ///< SweepRunner fan-out; 0 = all cores
 
   /// Paper axes: N in {1..256} (Fig 5) / {1..64} (Fig 6), %WL 0..100%.
@@ -33,6 +32,8 @@ struct HostFigureConfig {
 };
 
 /// Figure 5: simulated performance gain vs %WL, one column per node count.
+/// One run per point; error bars come from the scenario-level replication
+/// engine (`reps=`, see docs/REPLICATION.md), not a per-point loop.
 [[nodiscard]] Table make_fig5(const HostFigureConfig& config);
 
 /// Figure 6: unnormalized response time (ns) vs node count, one column

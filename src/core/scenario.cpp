@@ -76,6 +76,10 @@ ParamSpec p_list(std::string key, std::string def, std::string range,
 }
 
 ParamSpec p_seed() { return p_int("seed", "1", ">= 0", "base RNG seed"); }
+ParamSpec p_reps() {
+  return p_int("reps", "1", ">= 1",
+               "seed-streamed replications; > 1 adds mean ± CI columns");
+}
 ParamSpec p_threads() {
   return p_int("threads", "0", ">= 0",
                "SweepRunner fan-out; 0 = one thread per core");
@@ -192,7 +196,68 @@ Table run_scenario(const Scenario& scenario, const Config& cfg,
                             "; valid keys: " + join_names(valid));
     }
   }
-  return scenario.make(cfg);
+
+  // Replication engine: scenarios declaring a `reps` knob run R
+  // seed-streamed replications folded into mean ± half-width columns.
+  // reps=1 bypasses the fold, keeping single-run output bitwise
+  // identical to the pre-engine path.
+  const ReplicationSpec spec = replication_spec(scenario, cfg);
+  if (!spec.declared || spec.reps == 1) return scenario.make(cfg);
+  std::vector<Table> tables;
+  tables.reserve(spec.reps);
+  for (std::size_t r = 0; r < spec.reps; ++r) {
+    tables.push_back(run_replication(scenario, cfg, r, extra_allowed));
+  }
+  return fold_replications(tables);
+}
+
+ReplicationSpec replication_spec(const Scenario& scenario, const Config& cfg) {
+  ReplicationSpec spec;
+  const ParamSpec* reps_param = nullptr;
+  const ParamSpec* seed_param = nullptr;
+  for (const ParamSpec& p : scenario.params) {
+    if (p.key == "reps") reps_param = &p;
+    if (p.key == "seed") seed_param = &p;
+  }
+  if (reps_param == nullptr) return spec;
+  spec.declared = true;
+  const std::int64_t reps =
+      cfg.get_int("reps", std::stoll(reps_param->default_value));
+  if (reps < 1) {
+    throw InvalidArgument(
+        "scenario '" + scenario.name + "': bad value for 'reps' (" +
+        std::to_string(reps) + "): expected int >= 1 replications");
+  }
+  spec.reps = static_cast<std::size_t>(reps);
+  const std::int64_t seed_default =
+      seed_param == nullptr ? 0 : std::stoll(seed_param->default_value);
+  spec.base_seed =
+      static_cast<std::uint64_t>(cfg.get_int("seed", seed_default));
+  return spec;
+}
+
+Table run_replication(const Scenario& scenario, const Config& cfg,
+                      std::size_t rep,
+                      const std::vector<std::string>& extra_allowed) {
+  const ReplicationSpec spec = replication_spec(scenario, cfg);
+  if (!spec.declared) {
+    throw InvalidArgument("run_replication: scenario '" + scenario.name +
+                          "' declares no reps parameter");
+  }
+  if (rep >= spec.reps) {
+    throw InvalidArgument("run_replication: rep " + std::to_string(rep) +
+                          " out of range for " + std::to_string(spec.reps) +
+                          " replications");
+  }
+  const std::vector<std::uint64_t> seeds =
+      replication_seeds(spec.reps, spec.base_seed);
+  Config one = cfg;
+  // Round-trip the full 64-bit seed through its signed rendering:
+  // get_int's strtoll would clamp the unsigned form past INT64_MAX,
+  // collapsing distinct SplitMix64 streams.
+  one.set("seed", std::to_string(static_cast<std::int64_t>(seeds[rep])));
+  one.set("reps", "1");
+  return run_scenario(scenario, one, extra_allowed);
 }
 
 Table run_scenario(const std::string& name, const Config& cfg,
@@ -336,8 +401,8 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       {p_int("maxnodes", "256", "1..2^20", "largest node count (pow2 axis)"),
        p_int("ops", "100000000", "> 0", "workload operations per run"),
        p_int("batch", "1000000", "> 0", "binomial batching granularity"),
-       p_int("reps", "3", ">= 1", "replications per sweep point"),
-       p_memory(), p_mem_banks(), p_mem_queue(), p_seed(), p_threads()},
+       p_reps(), p_memory(), p_mem_banks(), p_mem_queue(), p_seed(),
+       p_threads()},
       [](const Config& cfg) {
         HostFigureConfig fig = HostFigureConfig::defaults_fig5();
         fig.node_counts = pow2_range(
@@ -352,20 +417,19 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
             static_cast<std::size_t>(cfg.get_int("mem_banks", 0));
         fig.base.memory.queue =
             static_cast<std::size_t>(cfg.get_int("mem_queue", 0));
-        fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
         fig.sweep_threads =
             static_cast<std::size_t>(cfg.get_int("threads", 0));
         return make_fig5(fig);
       },
       /*verify_params=*/"maxnodes=8 ops=200000 batch=10000 reps=2",
-      /*verify_fingerprint=*/0xdf64ebc932656617ull,
+      /*verify_fingerprint=*/0x26b4ab384a94edeaull,
       // Events scale with batches per run x node-axis length x reps.
       /*cost_hint=*/
       [](const Config& cfg) {
         const double ops = static_cast<double>(cfg.get_int("ops", 100'000'000));
         const double batch =
             std::max(1.0, static_cast<double>(cfg.get_int("batch", 1'000'000)));
-        const double reps = static_cast<double>(cfg.get_int("reps", 3));
+        const double reps = static_cast<double>(cfg.get_int("reps", 1));
         const double axis =
             std::log2(static_cast<double>(cfg.get_int("maxnodes", 256))) + 1.0;
         return reps * axis * ops / batch;
@@ -379,8 +443,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       {p_int("maxnodes", "64", "1..2^20", "largest node count (pow2 axis)"),
        p_int("ops", "100000000", "> 0", "workload operations per run"),
        p_int("batch", "1000000", "> 0", "binomial batching granularity"),
-       p_int("reps", "3", ">= 1", "replications per sweep point"),
-       p_seed(), p_threads()},
+       p_reps(), p_seed(), p_threads()},
       [](const Config& cfg) {
         HostFigureConfig fig = HostFigureConfig::defaults_fig6();
         fig.node_counts = pow2_range(
@@ -390,7 +453,6 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
         fig.base.batch_ops =
             static_cast<std::uint64_t>(cfg.get_int("batch", 1'000'000));
         fig.base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
-        fig.replications = static_cast<std::size_t>(cfg.get_int("reps", 3));
         fig.sweep_threads =
             static_cast<std::size_t>(cfg.get_int("threads", 0));
         return make_fig6(fig);
@@ -402,7 +464,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
         const double ops = static_cast<double>(cfg.get_int("ops", 100'000'000));
         const double batch =
             std::max(1.0, static_cast<double>(cfg.get_int("batch", 1'000'000)));
-        const double reps = static_cast<double>(cfg.get_int("reps", 3));
+        const double reps = static_cast<double>(cfg.get_int("reps", 1));
         const double axis =
             std::log2(static_cast<double>(cfg.get_int("maxnodes", 64))) + 1.0;
         return reps * axis * ops / batch;
@@ -448,7 +510,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       {p_int("ops", "10000000", "> 0", "workload operations per run"),
        p_int("batch", "100000", "> 0", "binomial batching granularity"),
        p_int("maxnodes", "64", "1..2^20", "largest node count (pow2 axis)"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         HostFigureConfig fig;
         fig.base.workload.total_ops =
@@ -489,7 +551,8 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
               "remote-access fraction curve family"),
        p_list("pars", "1,2,4,8,16,32", ">= 1",
               "degree-of-parallelism groups"),
-       p_memory(), p_mem_banks(), p_mem_queue(), p_seed(), p_threads()},
+       p_reps(), p_memory(), p_mem_banks(), p_mem_queue(), p_seed(),
+       p_threads()},
       [](const Config& cfg) {
         ParcelFigureConfig fig = ParcelFigureConfig::defaults_fig11();
         fig.base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
@@ -552,7 +615,8 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        p_list("sizes", "1,2,4,8,16,32,64,128,256", ">= 1",
               "system-size panels"),
        p_list("pars", "1,2,4,8,16,32", ">= 1", "degree-of-parallelism axis"),
-       p_memory(), p_mem_banks(), p_mem_queue(), p_seed(), p_threads()},
+       p_reps(), p_memory(), p_mem_banks(), p_mem_queue(), p_seed(),
+       p_threads()},
       [](const Config& cfg) {
         ParcelFigureConfig fig = ParcelFigureConfig::defaults_fig12();
         fig.base.horizon = cfg.get_double("horizon", 20'000.0);
@@ -608,7 +672,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       "Section 5.2",
       {p_dbl("switch", "1", ">= 0", "thread context-switch cost (cycles)"),
        p_int("ops", "60000", "> 0", "simulated operations per thread count"),
-       p_int("seed", "11", ">= 0", "base RNG seed")},
+       p_reps(), p_int("seed", "11", ">= 0", "base RNG seed")},
       [](const Config& cfg) {
         const arch::SystemParams params = arch::SystemParams::table1();
         const double switch_cost = cfg.get_double("switch", 1.0);
@@ -692,7 +756,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       "Section 3.1 (assumptions)",
       {p_int("ops", "400000", "> 0", "workload operations per run"),
        p_int("nodes", "8", ">= 1", "LWP count (one per bank at baseline)"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         arch::HostConfig base;
         base.workload.total_ops =
@@ -737,7 +801,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        p_int("nodes", "8", ">= 1", "LWP count (100% LWP work)"),
        p_list("banks", "1,2,4,8", ">= 1", "DRAM bank counts to sweep"),
        p_int("queue", "0", ">= 0", "shared access ports (0 = one per bank)"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         arch::HostConfig base;
         base.workload.total_ops =
@@ -789,7 +853,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        p_dbl("premote", "0.2", "[0, 1]", "remote-access fraction"),
        p_bool("contention", "0", "packet-level network instead of analytic"),
        p_int("msgbytes", "16", ">= 1", "request/reply wire size"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         parcel::SplitTransactionParams base;
         base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 16));
@@ -831,7 +895,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        p_dbl("horizon", "30000", "> 0", "simulated cycles per run"),
        p_dbl("premote", "0.2", "[0, 1]", "remote-access fraction"),
        p_int("parallelism", "16", ">= 1", "parcel contexts per node"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         parcel::SplitTransactionParams base;
         base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));
@@ -866,7 +930,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       "Section 3 (Figure 4 flow)",
       {p_int("ops", "4000000", "> 0", "workload operations per run"),
        p_dbl("pct", "0.7", "[0, 1]", "lightweight workload fraction %WL"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         arch::HostConfig base;
         base.workload.total_ops =
@@ -910,7 +974,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        p_dbl("horizon", "30000", "> 0", "simulated cycles per run"),
        p_dbl("latency", "500", "> 0", "system-wide round trip (cycles)"),
        p_dbl("premote", "0.2", "[0, 1]", "remote-access fraction"),
-       p_seed()},
+       p_reps(), p_seed()},
       [](const Config& cfg) {
         parcel::SplitTransactionParams base;
         base.nodes = static_cast<std::size_t>(cfg.get_int("nodes", 8));

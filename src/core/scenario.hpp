@@ -95,6 +95,40 @@ void register_builtin_scenarios(ScenarioRegistry& registry);
 [[nodiscard]] Table run_scenario(const std::string& name, const Config& cfg,
                                  const std::vector<std::string>& extra_allowed = {});
 
+// --- replication axis (docs/REPLICATION.md) -------------------------------
+//
+// Scenarios that declare a `reps` parameter are driven through the
+// table-level replication engine by run_scenario: R seed-streamed
+// replications (one SplitMix64-derived seed per rep, shared by every
+// process that computes any rep) folded into mean ± half-width columns.
+// reps=1 bypasses the engine entirely, so single-run output is bitwise
+// identical to a scenario without the knob.
+
+/// The replication axis of one scenario run: whether the scenario
+/// declares a `reps` knob, how many replications `cfg` requests, and the
+/// base seed the per-rep seed stream derives from.
+struct ReplicationSpec {
+  bool declared = false;    ///< scenario has a `reps` parameter
+  std::size_t reps = 1;     ///< requested replications (validated >= 1)
+  std::uint64_t base_seed = 0;  ///< seed the per-rep stream splits from
+};
+
+/// Reads the replication request out of `cfg` using the scenario's
+/// declared defaults; throws InvalidArgument naming the valid range when
+/// reps < 1 (the typed pre-parse in run_scenario already rejects
+/// non-integer text).
+[[nodiscard]] ReplicationSpec replication_spec(const Scenario& scenario,
+                                               const Config& cfg);
+
+/// Runs replication `rep` (0-based) of the scenario alone: the same
+/// single-rep table the unsharded fold consumes, reproducible from
+/// (cfg, rep) regardless of which process computes it.  The sharded
+/// sweep fabric calls this per (point, rep) unit and `pimsim merge`
+/// refolds the serialized tables, byte-identical to the in-process fold.
+[[nodiscard]] Table run_replication(
+    const Scenario& scenario, const Config& cfg, std::size_t rep,
+    const std::vector<std::string>& extra_allowed = {});
+
 /// FNV-1a 64 over arbitrary bytes — the one hash behind every pinned
 /// verify fingerprint.
 [[nodiscard]] std::uint64_t data_fingerprint(const std::string& data);

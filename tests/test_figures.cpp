@@ -59,7 +59,6 @@ TEST(Fig5, GainGrowsWithNodesAndLwpFraction) {
   cfg.base = fast_base();
   cfg.node_counts = {1, 8, 64};
   cfg.lwp_fractions = {0.0, 0.5, 1.0};
-  cfg.replications = 2;
   const Table t = make_fig5(cfg);
   ASSERT_EQ(t.rows(), 3u);
   // Row 0 (%WL=0): gain == 1 for every N.
@@ -82,7 +81,6 @@ TEST(Fig6, ResponseTimeShapesMatchPaperAxes) {
   cfg.base.batch_ops = 1'000'000;
   cfg.node_counts = {1, 8, 64};
   cfg.lwp_fractions = {0.0, 0.5, 1.0};
-  cfg.replications = 1;
   const Table t = make_fig6(cfg);
   // No-LWT column is flat at 4e8 ns.
   for (std::size_t r = 0; r < 3; ++r) {

@@ -123,14 +123,12 @@ TEST(RunScenario, Fig5MatchesDirectGeneratorBitwiseAtAnySweepThreads) {
   direct.base.workload.total_ops = 200'000;
   direct.base.batch_ops = 10'000;
   direct.base.seed = 1;
-  direct.replications = 2;
   direct.sweep_threads = 1;
   const std::string expected = csv_of(make_fig5(direct));
 
   for (const char* threads : {"1", "2", "5"}) {
     const Config cfg = Config::from_string(
-        std::string("maxnodes=8 ops=200000 batch=10000 reps=2 threads=") +
-        threads);
+        std::string("maxnodes=8 ops=200000 batch=10000 threads=") + threads);
     EXPECT_EQ(csv_of(run_scenario("fig5", cfg)), expected)
         << "sweep_threads=" << threads;
   }
